@@ -1,0 +1,42 @@
+// Ablation: converter resolution. Sweeps the DAC/ADC bit width around
+// the paper's 7-bit operating point (Table II) with all other
+// non-idealities at their Table II values, naive vs NORA.
+//
+// Expected shape: the naive mapping needs several extra bits to approach
+// fp32; NORA reaches near-fp32 already at low resolutions, i.e. it buys
+// back converter precision (the paper's central claim restated in bits).
+//
+//   ./ablation_bits [--examples=N] [--model=name]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 128));
+  const std::string m = cli.get("model", "opt-6.7b-sim");
+
+  std::printf("Ablation — DAC/ADC bit width (other Table II noise on), "
+              "model %s, %d examples\n\n", m.c_str(), n_examples);
+
+  const auto fp = bench::eval_digital(m, n_examples);
+  util::Table table({"bits (DAC=ADC)", "naive analog (%)", "NORA (%)",
+                     "fp32 (%)"});
+  for (const int bits : {5, 6, 7, 8, 9}) {
+    cim::TileConfig hw = cim::TileConfig::paper_table2();
+    hw.dac_bits = bits;
+    hw.adc_bits = bits;
+    const auto naive = bench::eval_analog(m, hw, false, 0.5f, n_examples);
+    const auto nora = bench::eval_analog(m, hw, true, 0.5f, n_examples);
+    table.add_row({std::to_string(bits), util::Table::pct(naive.accuracy),
+                   util::Table::pct(nora.accuracy),
+                   util::Table::pct(fp.accuracy)});
+  }
+  table.print();
+  table.write_csv("results/ablation_bits.csv");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation (paper Sec. VII): NVM device families and weight-programming
+// quality.
+//
+//  (1) PCM (continuous conductance) vs ReRAM (discrete levels,
+//      bit-sliced over 1/2/3 cells of 4 bits): the paper claims NORA
+//      extends to ReRAM as long as multi-cell slicing provides >= 8-bit
+//      weight precision.
+//  (2) write-verify programming iterations [Buechel'23, Mackin'22]:
+//      weight-side fabrication error shrinks with extra program/verify
+//      rounds — but since LLMs are weight-noise-resilient (Fig. 3h),
+//      accuracy barely cares, which is exactly why NORA can dump the
+//      conversion burden there.
+//
+//   ./ablation_device [--examples=N] [--model=name]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 128));
+  const std::string m = cli.get("model", "opt-6.7b-sim");
+
+  const auto fp = bench::eval_digital(m, n_examples);
+  std::printf("Ablation — NVM device family and programming quality, model "
+              "%s (fp32 %.2f%%, %d examples)\n\n",
+              m.c_str(), 100.0 * fp.accuracy, n_examples);
+
+  util::Table dev({"device", "weight precision", "naive (%)", "NORA (%)"});
+  {
+    cim::TileConfig pcm = cim::TileConfig::paper_table2();
+    const auto naive = bench::eval_analog(m, pcm, false, 0.5f, n_examples);
+    const auto nora = bench::eval_analog(m, pcm, true, 0.5f, n_examples);
+    dev.add_row({"PCM (continuous)", "analog", util::Table::pct(naive.accuracy),
+                 util::Table::pct(nora.accuracy)});
+  }
+  for (const int cells : {1, 2, 3}) {
+    cim::TileConfig reram = cim::TileConfig::paper_table2();
+    reram.device = cim::DeviceKind::kReramQuantized;
+    reram.reram_bits_per_cell = 4;
+    reram.reram_cells_per_weight = cells;
+    const auto naive = bench::eval_analog(m, reram, false, 0.5f, n_examples);
+    const auto nora = bench::eval_analog(m, reram, true, 0.5f, n_examples);
+    dev.add_row({"ReRAM (" + std::to_string(cells) + " cell x 4b)",
+                 std::to_string(4 * cells) + "-bit",
+                 util::Table::pct(naive.accuracy),
+                 util::Table::pct(nora.accuracy)});
+  }
+  dev.print("(1) device family:");
+  dev.write_csv("results/ablation_device.csv");
+
+  std::printf("\n");
+  util::Table wv({"write-verify iters", "naive (%)", "NORA (%)"});
+  for (const int iters : {1, 2, 4, 8}) {
+    cim::TileConfig cfg = cim::TileConfig::paper_table2();
+    cfg.prog_noise_scale = 4.0f;  // exaggerated so the effect is visible
+    cfg.write_verify_iters = iters;
+    const auto naive = bench::eval_analog(m, cfg, false, 0.5f, n_examples);
+    const auto nora = bench::eval_analog(m, cfg, true, 0.5f, n_examples);
+    wv.add_row({std::to_string(iters), util::Table::pct(naive.accuracy),
+                util::Table::pct(nora.accuracy)});
+  }
+  wv.print("(2) write-verify programming (programming noise x4):");
+  wv.write_csv("results/ablation_write_verify.csv");
+  std::printf("\npaper shape check: >=8-bit ReRAM slicing matches PCM; "
+              "1-cell (4-bit) weights degrade.\n");
+  return 0;
+}

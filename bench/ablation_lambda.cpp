@@ -1,0 +1,69 @@
+// Ablation (paper future work): the migration-strength exponent lambda
+// in s_k = max|x_k|^lambda / max|w_k|^(1-lambda).
+//
+// lambda = 0 ignores activations entirely; lambda = 1 moves the whole
+// burden onto the weights. The paper follows SmoothQuant's default 0.5;
+// this sweep shows accuracy across the range at the Table II operating
+// point. Expected shape: a broad optimum around 0.5; the extremes
+// under-correct (0) or inflate weight ranges (1).
+//
+//   ./ablation_lambda [--examples=N] [--models=a,b]
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+namespace {
+std::vector<std::string> parse_models(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 128));
+  const auto models = cli.has("models")
+                          ? parse_models(cli.get("models", ""))
+                          : std::vector<std::string>{"opt-2.7b-sim",
+                                                     "llama3-8b-sim"};
+  std::printf("Ablation — NORA migration strength lambda (Table II settings "
+              "hardened to 5-bit converters so the optimum is visible, "
+              "%d examples)\n\n", n_examples);
+
+  cim::TileConfig hw = cim::TileConfig::paper_table2();
+  hw.dac_bits = 5;
+  hw.adc_bits = 5;
+  hw.out_noise = 0.08f;
+  const std::vector<float> lambdas{0.0f, 0.25f, 0.5f, 0.75f, 1.0f};
+  util::Table table([&] {
+    std::vector<std::string> hdr{"model", "fp32 (%)", "naive (%)"};
+    for (const float l : lambdas) {
+      hdr.push_back("NORA l=" + util::Table::num(l, 2));
+    }
+    return hdr;
+  }());
+  for (const auto& m : models) {
+    const auto fp = bench::eval_digital(m, n_examples);
+    const auto naive = bench::eval_analog(m, hw, false, 0.5f, n_examples);
+    std::vector<std::string> row{m, util::Table::pct(fp.accuracy),
+                                 util::Table::pct(naive.accuracy)};
+    for (const float l : lambdas) {
+      const auto r = bench::eval_analog(m, hw, true, l, n_examples);
+      row.push_back(util::Table::pct(r.accuracy));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  table.write_csv("results/ablation_lambda.csv");
+  return 0;
+}

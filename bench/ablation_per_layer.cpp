@@ -1,0 +1,80 @@
+// Ablation (paper future work: "per-layer evaluation"): which layers'
+// analog conversion costs accuracy, and where NORA's rescale matters.
+//
+// Deploys the linear layers of ONE transformer block at a time to the
+// analog backend (Table II settings) while every other layer stays
+// digital fp32, for both the naive and NORA mappings; then the LM head
+// alone. Expected shape: early blocks (whose activations feed everything
+// downstream) and outlier-facing projections dominate the loss.
+//
+//   ./ablation_per_layer [--examples=N] [--model=name]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+namespace {
+
+double eval_partial(const model::ModelSpec& spec, const std::string& prefix,
+                    bool nora, int n_examples) {
+  auto model = model::get_or_train(spec, /*verbose=*/false);
+  const eval::SynthLambada task(spec.task);
+  const auto cals = core::calibrate(*model, task, 32);
+  const auto linears = model->linear_layers();
+  const cim::TileConfig hw = cim::TileConfig::paper_table2();
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    if (linears[i]->name().rfind(prefix, 0) != 0) continue;
+    std::vector<float> s;
+    if (nora) s = core::smoothing_vector(cals[i], 0.5f, 1e-3f);
+    linears[i]->to_analog(hw, std::move(s),
+                          util::derive_seed(2025, linears[i]->name()));
+  }
+  eval::EvalOptions eo;
+  eo.n_examples = n_examples;
+  return eval::evaluate(*model, task, eo).accuracy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 128));
+  const std::string name = cli.get("model", "opt-6.7b-sim");
+  const model::ModelSpec spec = model::spec_by_name(name);
+
+  const auto fp = bench::eval_digital(name, n_examples);
+  std::printf("Ablation — per-layer analog conversion, model %s "
+              "(fp32 %.2f%%, %d examples)\n\n",
+              name.c_str(), 100.0 * fp.accuracy, n_examples);
+
+  std::vector<std::string> prefixes;
+  for (std::int64_t l = 0; l < spec.arch.n_layers; ++l) {
+    prefixes.push_back("blk" + std::to_string(l) + ".");
+  }
+  prefixes.push_back("lm_head");
+
+  util::Table table({"analog subset", "naive (%)", "naive drop",
+                     "NORA (%)", "NORA drop"});
+  for (const auto& prefix : prefixes) {
+    const double naive = eval_partial(spec, prefix, false, n_examples);
+    const double nora = eval_partial(spec, prefix, true, n_examples);
+    table.add_row({prefix, util::Table::pct(naive),
+                   util::Table::pct(fp.accuracy - naive), util::Table::pct(nora),
+                   util::Table::pct(fp.accuracy - nora)});
+  }
+  // Whole model, for reference.
+  const auto all_naive = bench::eval_analog(
+      name, cim::TileConfig::paper_table2(), false, 0.5f, n_examples);
+  const auto all_nora = bench::eval_analog(
+      name, cim::TileConfig::paper_table2(), true, 0.5f, n_examples);
+  table.add_row({"(all layers)", util::Table::pct(all_naive.accuracy),
+                 util::Table::pct(fp.accuracy - all_naive.accuracy),
+                 util::Table::pct(all_nora.accuracy),
+                 util::Table::pct(fp.accuracy - all_nora.accuracy)});
+  table.print();
+  table.write_csv("results/ablation_per_layer.csv");
+  return 0;
+}

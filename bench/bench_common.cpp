@@ -1,0 +1,104 @@
+#include "bench_common.hpp"
+
+#include "noise/mse_calibrator.hpp"
+
+namespace nora::bench {
+
+std::vector<NoiseKnob> fig3_knobs() {
+  using cim::TileConfig;
+  std::vector<NoiseKnob> knobs;
+  // (a) ADC quantization: the knob is "coarseness" = 256 / steps, so the
+  // MSE is monotone increasing in the parameter.
+  knobs.push_back({"adc-quantization", "IO", [](double p) {
+                     TileConfig c = TileConfig::ideal();
+                     c.adc_steps_override =
+                         static_cast<float>(std::max(2.0, 256.0 / p));
+                     c.adc_bits = 1;  // enable; override supplies steps
+                     return c;
+                   }});
+  // (b) DAC quantization.
+  knobs.push_back({"dac-quantization", "IO", [](double p) {
+                     TileConfig c = TileConfig::ideal();
+                     c.dac_steps_override =
+                         static_cast<float>(std::max(2.0, 256.0 / p));
+                     c.dac_bits = 1;
+                     return c;
+                   }});
+  // (c) Additive output noise (system Gaussian, before the ADC).
+  knobs.push_back({"additive-output-noise", "IO", [](double p) {
+                     return TileConfig::ideal_except_out_noise(
+                         static_cast<float>(p));
+                   }});
+  // (d) Additive input noise (system Gaussian, after the DAC).
+  knobs.push_back({"additive-input-noise", "IO", [](double p) {
+                     return TileConfig::ideal_except_in_noise(
+                         static_cast<float>(p));
+                   }});
+  // (e) IR-drop.
+  knobs.push_back({"ir-drop", "tile", [](double p) {
+                     return TileConfig::ideal_except_ir_drop(
+                         static_cast<float>(p));
+                   }});
+  // (f) Short-term weight read noise.
+  knobs.push_back({"short-term-read-noise", "tile", [](double p) {
+                     return TileConfig::ideal_except_w_noise(
+                         static_cast<float>(p));
+                   }});
+  // (g) S-shape nonlinearity.
+  knobs.push_back({"s-shape-nonlinearity", "IO", [](double p) {
+                     return TileConfig::ideal_except_sshape(
+                         static_cast<float>(p));
+                   }});
+  // (h) Programming noise.
+  knobs.push_back({"programming-noise", "tile", [](double p) {
+                     return TileConfig::ideal_except_prog_noise(
+                         static_cast<float>(p));
+                   }});
+  return knobs;
+}
+
+double solve_level(const NoiseKnob& knob, double target_mse) {
+  cim::MseProbeOptions probe;
+  probe.k = 128;
+  probe.n = 128;
+  probe.t = 16;
+  const noise::MseCalibrator cal(cim::mse_of_knob(knob.make, probe));
+  return cal.solve(target_mse);
+}
+
+DeployedEval eval_digital(const std::string& model_name, int n_examples) {
+  const model::ModelSpec spec = model::spec_by_name(model_name);
+  auto model = model::get_or_train(spec, /*verbose=*/true);
+  const eval::SynthLambada task(spec.task);
+  eval::EvalOptions eo;
+  eo.n_examples = n_examples;
+  const auto r = eval::evaluate(*model, task, eo);
+  return {r.accuracy, r.avg_loss, 0.0};
+}
+
+DeployedEval eval_analog(const std::string& model_name,
+                         const cim::TileConfig& tile, bool nora, float lambda,
+                         int n_examples) {
+  const model::ModelSpec spec = model::spec_by_name(model_name);
+  auto model = model::get_or_train(spec, /*verbose=*/false);
+  const eval::SynthLambada task(spec.task);
+  core::DeployOptions opts;
+  opts.tile = tile;
+  opts.nora.enabled = nora;
+  opts.nora.lambda = lambda;
+  core::deploy_analog(*model, task, opts);
+  eval::EvalOptions eo;
+  eo.n_examples = n_examples;
+  const auto r = eval::evaluate(*model, task, eo);
+  DeployedEval out{r.accuracy, r.avg_loss, 0.0};
+  double agg = 0.0;
+  int count = 0;
+  for (const auto& st : core::scaling_factor_stats(*model)) {
+    agg += st.alpha_gamma_gmax;
+    ++count;
+  }
+  if (count > 0) out.mean_alpha_gamma_gmax = agg / count;
+  return out;
+}
+
+}  // namespace nora::bench

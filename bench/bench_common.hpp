@@ -1,0 +1,56 @@
+// Shared harness for the paper-reproduction benches: the Fig. 3 noise
+// knob registry, MSE-matched level solving, and deploy-and-evaluate
+// helpers over the model zoo.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cim/mse_probe.hpp"
+#include "cim/tile_config.hpp"
+#include "core/nora.hpp"
+#include "eval/evaluator.hpp"
+#include "model/zoo.hpp"
+
+namespace nora::bench {
+
+/// One sweepable non-ideality (a row of paper Table I / a panel of
+/// Fig. 3): maps a continuous noise parameter to an otherwise-ideal
+/// TileConfig with only that knob set.
+struct NoiseKnob {
+  std::string name;      // e.g. "adc-quantization"
+  std::string category;  // "IO" or "tile" (Table I taxonomy)
+  std::function<cim::TileConfig(double)> make;
+};
+
+/// The eight non-idealities of Fig. 3 (a)-(h), in figure order.
+std::vector<NoiseKnob> fig3_knobs();
+
+/// Solve the knob parameter that causes `target_mse` on the reference
+/// feature map (the paper's Fig. 3 x-axis protocol).
+double solve_level(const NoiseKnob& knob, double target_mse);
+
+struct DeployedEval {
+  double accuracy = 0.0;
+  double avg_loss = 0.0;
+  double mean_alpha_gamma_gmax = 0.0;  // averaged over linear layers
+};
+
+/// Digital fp32 accuracy of a zoo model (loads/trains via the cache).
+DeployedEval eval_digital(const std::string& model_name, int n_examples);
+
+/// Accuracy after converting all linear layers to analog under `tile`,
+/// with NORA enabled/disabled. The model is re-loaded fresh each call so
+/// evaluations are independent.
+DeployedEval eval_analog(const std::string& model_name,
+                         const cim::TileConfig& tile, bool nora,
+                         float lambda, int n_examples);
+
+/// Shared CLI defaults for the bench binaries.
+struct BenchOptions {
+  int n_examples = 96;
+  float lambda = 0.5f;
+};
+
+}  // namespace nora::bench

@@ -1,0 +1,84 @@
+// Digital-quantization baselines vs analog CIM (paper Sec. VI related
+// work): SmoothQuant solves the same outlier problem on digital INT8
+// cores that NORA solves on analog tiles. This bench puts all five
+// settings side by side:
+//
+//   fp32 | digital int8 | digital int8 + SmoothQuant |
+//   analog naive | analog NORA
+//
+// Expected shape: plain W8A8 degrades on outlier-heavy (OPT-like) models
+// and SmoothQuant repairs it — the digital mirror of Fig. 5a — while the
+// analog column needs NORA because quantization is only one of its
+// non-idealities.
+//
+//   ./digital_baselines [--examples=N] [--models=a,b,c]
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+namespace {
+std::vector<std::string> parse_models(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+double eval_int8(const std::string& name, bool smooth, bool static_act,
+                 int n_examples) {
+  const model::ModelSpec spec = model::spec_by_name(name);
+  auto model = model::get_or_train(spec, /*verbose=*/false);
+  const eval::SynthLambada task(spec.task);
+  core::NoraOptions nora;
+  nora.enabled = smooth;
+  core::deploy_digital_int8(*model, task, nora, static_act);
+  eval::EvalOptions eo;
+  eo.n_examples = n_examples;
+  return eval::evaluate(*model, task, eo).accuracy;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 128));
+  const auto models =
+      cli.has("models")
+          ? parse_models(cli.get("models", ""))
+          : std::vector<std::string>{"opt-1.3b-sim", "opt-2.7b-sim",
+                                     "opt-6.7b-sim", "mistral-7b-sim"};
+
+  std::printf("Digital INT8 baselines vs analog CIM (%d examples)\n\n",
+              n_examples);
+  const cim::TileConfig hw = cim::TileConfig::paper_table2();
+  util::Table table({"model", "fp32 (%)", "int8 dynamic (%)",
+                     "int8 static (%)", "int8 static+SmoothQuant (%)",
+                     "analog naive (%)", "analog NORA (%)"});
+  for (const auto& m : models) {
+    const auto fp = bench::eval_digital(m, n_examples);
+    const double i8_dyn = eval_int8(m, false, false, n_examples);
+    const double i8_static = eval_int8(m, false, true, n_examples);
+    const double i8_smooth = eval_int8(m, true, true, n_examples);
+    const auto an = bench::eval_analog(m, hw, false, 0.5f, n_examples);
+    const auto anr = bench::eval_analog(m, hw, true, 0.5f, n_examples);
+    table.add_row({m, util::Table::pct(fp.accuracy), util::Table::pct(i8_dyn),
+                   util::Table::pct(i8_static), util::Table::pct(i8_smooth),
+                   util::Table::pct(an.accuracy),
+                   util::Table::pct(anr.accuracy)});
+  }
+  table.print();
+  table.write_csv("results/digital_baselines.csv");
+  std::printf("\nshape check: static per-tensor INT8 (SmoothQuant's target "
+              "setting) degrades on\noutlier-heavy models and SmoothQuant "
+              "repairs it — the digital mirror of NORA;\nper-token dynamic "
+              "INT8 is the easy case; analog naive is worst (quantization\n"
+              "plus additive noise plus ADC saturation).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 5 (b)/(c): per-non-ideality mitigation by NORA.
+// Each noise source is scaled (alone, others ideal) to the fixed
+// MSE-matched level of the paper (1.5e-3..1.6e-3 on the reference
+// feature map), then accuracy is compared between the naive mapping and
+// NORA. "recovered" is the fraction of the naive drop NORA wins back.
+//
+// Expected shape (paper Sec. V-B): large recovery for ADC/DAC
+// quantization on quantization-sensitive (OPT-like) models (paper: ~75%
+// of the ADC drop on OPT-6.7b) and substantial recovery for additive
+// input/output noise (paper: 60-70% output, 5-60% input).
+//
+//   ./fig5bc_mitigation [--examples=N] [--models=a,b] [--lambda=F]
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "noise/mse_calibrator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+namespace {
+std::vector<std::string> parse_models(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 96));
+  const float lambda = static_cast<float>(cli.get_double("lambda", 0.5));
+  const auto models =
+      cli.has("models")
+          ? parse_models(cli.get("models", ""))
+          : std::vector<std::string>{"opt-2.7b-sim", "opt-6.7b-sim",
+                                     "llama3-8b-sim", "mistral-7b-sim"};
+
+  std::printf("Fig. 5b/c — NORA noise mitigation per non-ideality at "
+              "MSE-matched level %.2e (%d examples)\n\n",
+              noise::kFig5MseLevel, n_examples);
+
+  util::Table table({"non-ideality", "model", "fp32 (%)", "naive (%)",
+                     "NORA (%)", "naive drop", "NORA drop", "recovered (%)"});
+  for (const auto& knob : bench::fig3_knobs()) {
+    const double param = bench::solve_level(knob, noise::kFig5MseLevel);
+    std::printf("[%s] calibrated param: %.5g\n", knob.name.c_str(), param);
+    std::fflush(stdout);
+    const cim::TileConfig cfg = knob.make(param);
+    for (const auto& m : models) {
+      const auto fp = bench::eval_digital(m, n_examples);
+      const auto naive = bench::eval_analog(m, cfg, false, lambda, n_examples);
+      const auto nora = bench::eval_analog(m, cfg, true, lambda, n_examples);
+      const double drop_naive = fp.accuracy - naive.accuracy;
+      const double drop_nora = fp.accuracy - nora.accuracy;
+      const double recovered =
+          drop_naive > 1e-9 ? 100.0 * (nora.accuracy - naive.accuracy) / drop_naive
+                            : 0.0;
+      table.add_row({knob.name, m, util::Table::pct(fp.accuracy),
+                     util::Table::pct(naive.accuracy),
+                     util::Table::pct(nora.accuracy),
+                     util::Table::pct(drop_naive), util::Table::pct(drop_nora),
+                     util::Table::num(recovered, 1)});
+    }
+  }
+  std::printf("\n");
+  table.print();
+  table.write_csv("results/fig5bc_mitigation.csv");
+  std::printf("\npaper shape check: large recovery on quantization for "
+              "OPT-like models and on additive I/O noise everywhere;\n"
+              "tile non-idealities barely drop in the first place.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces paper Fig. 6:
+//  (a) per-layer input kurtosis before vs after NORA,
+//  (b) per-layer query-weight kurtosis before vs after NORA,
+//  (c) per-layer mean alpha*gamma*g_max (naive vs NORA) — smaller means
+//      larger output current into the ADC, i.e. higher SNR.
+//
+// Expected shape: input kurtosis collapses under NORA while weight
+// kurtosis rises only slightly, and alpha*gamma*g_max shrinks in every
+// layer.
+//
+//   ./fig6_kurtosis_scaling [--examples=N] [--models=a,b,c] [--lambda=F]
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+namespace {
+std::vector<std::string> parse_models(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 64));
+  const float lambda = static_cast<float>(cli.get_double("lambda", 0.5));
+  const auto models = cli.has("models")
+                          ? parse_models(cli.get("models", ""))
+                          : std::vector<std::string>{
+                                "opt-6.7b-sim", "llama3-8b-sim", "mistral-7b-sim"};
+
+  std::printf("Fig. 6 — per-layer distribution and scaling-factor effects of "
+              "NORA (lambda=%.2f)\n\n", lambda);
+
+  core::NoraOptions nora_opts;
+  nora_opts.lambda = lambda;
+
+  util::Table kurt({"model", "layer", "input kurt (naive)", "input kurt (NORA)",
+                    "weight kurt (naive)", "weight kurt (NORA)"});
+  for (const auto& name : models) {
+    const model::ModelSpec spec = model::spec_by_name(name);
+    auto model = model::get_or_train(spec, /*verbose=*/true);
+    const eval::SynthLambada task(spec.task);
+    const auto naive = core::distribution_stats(*model, task, nora_opts, false);
+    const auto nora = core::distribution_stats(*model, task, nora_opts, true);
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      kurt.add_row({name, naive[i].layer,
+                    util::Table::num(naive[i].input_kurtosis, 2),
+                    util::Table::num(nora[i].input_kurtosis, 2),
+                    util::Table::num(naive[i].weight_kurtosis, 2),
+                    util::Table::num(nora[i].weight_kurtosis, 2)});
+    }
+  }
+  kurt.print("(a)/(b) per-layer kurtosis, naive vs NORA:");
+  kurt.write_csv("results/fig6_kurtosis.csv");
+
+  // (c) alpha*gamma*g_max per layer after running the eval set through
+  // the analog model at the Table II operating point.
+  std::printf("\n");
+  util::Table scal({"model", "layer", "alpha*gamma*gmax (naive)",
+                    "alpha*gamma*gmax (NORA)", "reduction (x)"});
+  const cim::TileConfig hw = cim::TileConfig::paper_table2();
+  for (const auto& name : models) {
+    const model::ModelSpec spec = model::spec_by_name(name);
+    const eval::SynthLambada task(spec.task);
+    eval::EvalOptions eo;
+    eo.n_examples = n_examples;
+    std::map<std::string, double> naive_ag;
+    {
+      auto m = model::get_or_train(spec, /*verbose=*/false);
+      core::DeployOptions d;
+      d.tile = hw;
+      d.nora.enabled = false;
+      core::deploy_analog(*m, task, d);
+      eval::evaluate(*m, task, eo);
+      for (const auto& st : core::scaling_factor_stats(*m)) {
+        naive_ag[st.layer] = st.alpha_gamma_gmax;
+      }
+    }
+    auto m = model::get_or_train(spec, /*verbose=*/false);
+    core::DeployOptions d;
+    d.tile = hw;
+    d.nora.enabled = true;
+    d.nora.lambda = lambda;
+    core::deploy_analog(*m, task, d);
+    eval::evaluate(*m, task, eo);
+    for (const auto& st : core::scaling_factor_stats(*m)) {
+      const double nv = naive_ag[st.layer];
+      scal.add_row({name, st.layer, util::Table::num(nv, 2),
+                    util::Table::num(st.alpha_gamma_gmax, 2),
+                    util::Table::num(nv / std::max(st.alpha_gamma_gmax, 1e-9), 2)});
+    }
+  }
+  scal.print("(c) scaling factors alpha*gamma*g_max (smaller -> more output "
+             "current -> higher SNR):");
+  scal.write_csv("results/fig6_scaling.csv");
+  std::printf("\npaper shape check: input kurtosis drops sharply (most in "
+              "early layers for the\nquantization-resilient models), weight "
+              "kurtosis rises slightly, alpha*gamma shrinks.\n");
+  return 0;
+}

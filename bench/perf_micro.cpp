@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: digital
+// GEMM vs analog tile MVM at several sizes and noise configurations,
+// plus the quantizer and Gaussian-sampling kernels.
+//
+// These don't reproduce a paper figure; they document the simulation
+// cost model (how much each modelled non-ideality costs per MVM).
+#include <benchmark/benchmark.h>
+
+#include "cim/analog_matmul.hpp"
+#include "noise/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+using namespace nora;
+
+namespace {
+
+Matrix random_matrix(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(r, c);
+  m.fill_gaussian(rng, 0.5f);
+  return m;
+}
+
+void BM_DigitalGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Matrix w = random_matrix(n, n, 1);
+  const Matrix x = random_matrix(8, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n);
+}
+BENCHMARK(BM_DigitalGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AnalogIdeal(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Matrix w = random_matrix(n, n, 3);
+  const Matrix x = random_matrix(8, n, 4);
+  cim::AnalogMatmul unit(w, {}, cim::TileConfig::ideal(), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n);
+}
+BENCHMARK(BM_AnalogIdeal)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AnalogTable2(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Matrix w = random_matrix(n, n, 6);
+  const Matrix x = random_matrix(8, n, 7);
+  cim::AnalogMatmul unit(w, {}, cim::TileConfig::paper_table2(), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n);
+}
+BENCHMARK(BM_AnalogTable2)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AnalogIrDropOnly(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Matrix w = random_matrix(n, n, 9);
+  const Matrix x = random_matrix(8, n, 10);
+  cim::AnalogMatmul unit(w, {}, cim::TileConfig::ideal_except_ir_drop(1.0f), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n);
+}
+BENCHMARK(BM_AnalogIrDropOnly)->Arg(128);
+
+void BM_TileProgramming(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Matrix w = random_matrix(n, n, 12);
+  const cim::TileConfig cfg = cim::TileConfig::paper_table2();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cim::AnalogMatmul unit(w, {}, cfg, ++seed);
+    benchmark::DoNotOptimize(&unit);
+  }
+}
+BENCHMARK(BM_TileProgramming)->Arg(128)->Arg(512);
+
+void BM_Quantizer(benchmark::State& state) {
+  const auto q = noise::UniformQuantizer::from_bits(7, 1.0f);
+  util::Rng rng(13);
+  std::vector<float> xs(4096);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(-1.5, 1.5));
+  for (auto _ : state) {
+    auto copy = xs;
+    q.apply(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Quantizer);
+
+void BM_GaussianSampling(benchmark::State& state) {
+  util::Rng rng(14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.gaussian());
+  }
+}
+BENCHMARK(BM_GaussianSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Calibration workflow walkthrough: what NORA actually computes.
+//
+// Runs the offline calibration pass on a zoo model, prints the
+// per-channel activation/weight ranges of a chosen layer, the resulting
+// smoothing vector s, and the layer-by-layer kurtosis and scaling-factor
+// effects of applying it.
+//
+//   ./calibrate_inspect [--model=opt-1.3b-sim] [--layer=0] [--lambda=0.5]
+#include <algorithm>
+#include <cstdio>
+
+#include "core/nora.hpp"
+#include "eval/evaluator.hpp"
+#include "model/zoo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string name = cli.get("model", "opt-1.3b-sim");
+  const std::size_t layer = static_cast<std::size_t>(cli.get_int("layer", 0));
+  const float lambda = static_cast<float>(cli.get_double("lambda", 0.5));
+
+  const model::ModelSpec spec = model::spec_by_name(name);
+  auto model = model::get_or_train(spec);
+  const eval::SynthLambada task(spec.task);
+
+  // Step 1: offline calibration on held-out data (the paper's Pile set).
+  const auto cals = core::calibrate(*model, task, 32);
+  if (layer >= cals.size()) {
+    std::fprintf(stderr, "layer index %zu out of range (%zu linear layers)\n",
+                 layer, cals.size());
+    return 1;
+  }
+  const auto& cal = cals[layer];
+  std::printf("calibrated %zu linear layers; inspecting '%s'\n\n", cals.size(),
+              cal.layer.c_str());
+
+  // Step 2: the smoothing vector s_k = max|x_k|^l / max|w_k|^(1-l).
+  const auto s = core::smoothing_vector(cal, lambda, 1e-3f);
+  std::vector<std::size_t> order(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return s[a] > s[b]; });
+  util::Table chan({"channel", "max|x_k|", "max|w_k|", "s_k"});
+  std::printf("top-8 channels by s (the outlier channels NORA tames):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size()); ++i) {
+    const std::size_t c = order[i];
+    chan.add_row({std::to_string(c), util::Table::num(cal.act_abs_max[c], 3),
+                  util::Table::num(cal.w_abs_max[c], 3),
+                  util::Table::num(s[c], 3)});
+  }
+  chan.print();
+
+  // Step 3: distribution effect per layer.
+  core::NoraOptions nopts;
+  nopts.lambda = lambda;
+  const auto before = core::distribution_stats(*model, task, nopts, false);
+  const auto after = core::distribution_stats(*model, task, nopts, true);
+  std::printf("\nper-layer input kurtosis before -> after rescaling:\n");
+  util::Table kt({"layer", "input kurt (before)", "input kurt (after)",
+                  "weight kurt (before)", "weight kurt (after)"});
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    kt.add_row({before[i].layer, util::Table::num(before[i].input_kurtosis, 2),
+                util::Table::num(after[i].input_kurtosis, 2),
+                util::Table::num(before[i].weight_kurtosis, 2),
+                util::Table::num(after[i].weight_kurtosis, 2)});
+  }
+  kt.print();
+
+  // Step 4: deploy with NORA and confirm accuracy.
+  core::DeployOptions dep;
+  dep.tile = cim::TileConfig::paper_table2();
+  dep.nora.enabled = true;
+  dep.nora.lambda = lambda;
+  core::deploy_analog(*model, task, dep);
+  eval::EvalOptions eo;
+  eo.n_examples = 96;
+  const auto acc = eval::evaluate(*model, task, eo);
+  std::printf("\nanalog accuracy with NORA at Table II settings: %.2f%%\n",
+              100.0 * acc.accuracy);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Autoregressive generation on analog hardware: error accumulation.
+//
+// A single noisy forward pass perturbs one prediction; during greedy
+// decoding every generated token is conditioned on previous (possibly
+// corrupted) outputs, so analog noise compounds. This example generates
+// continuations with the KV-cached decoder under three backends —
+// digital fp32, naive analog, NORA analog — and reports how long each
+// analog continuation agrees with the digital one.
+//
+//   ./generate_compare [--model=opt-1.3b-sim] [--prompts=12] [--tokens=8]
+#include <cstdio>
+
+#include "core/nora.hpp"
+#include "eval/evaluator.hpp"
+#include "model/zoo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+namespace {
+
+std::vector<std::vector<int>> generate_all(nn::TransformerLM& model,
+                                           const eval::SynthLambada& task,
+                                           int n_prompts, int n_tokens) {
+  std::vector<std::vector<int>> out;
+  for (int i = 0; i < n_prompts; ++i) {
+    const auto ex = task.make_example("test", static_cast<std::uint64_t>(i));
+    // Prompt = everything up to and including the QUERY + key.
+    out.push_back(model.generate(ex.tokens, n_tokens));
+  }
+  return out;
+}
+
+double mean_agreement(const std::vector<std::vector<int>>& ref,
+                      const std::vector<std::vector<int>>& got) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    std::size_t match = 0;
+    while (match < ref[i].size() && match < got[i].size() &&
+           ref[i][match] == got[i][match]) {
+      ++match;
+    }
+    total += static_cast<double>(match);
+  }
+  return total / static_cast<double>(ref.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string name = cli.get("model", "opt-1.3b-sim");
+  const int n_prompts = static_cast<int>(cli.get_int("prompts", 12));
+  const int n_tokens = static_cast<int>(cli.get_int("tokens", 8));
+
+  const model::ModelSpec spec = model::spec_by_name(name);
+  // Generation needs headroom: prompts use a shortened task layout so
+  // n_tokens fit inside the model's max_seq window.
+  eval::SynthLambadaConfig task_cfg = spec.task;
+  task_cfg.seq_len = spec.task.seq_len - n_tokens;
+  const eval::SynthLambada task(task_cfg);
+
+  auto model = model::get_or_train(spec);
+
+  const auto digital = generate_all(*model, task, n_prompts, n_tokens);
+
+  core::DeployOptions naive;
+  naive.tile = cim::TileConfig::paper_table2();
+  naive.nora.enabled = false;
+  core::deploy_analog(*model, task, naive);
+  const auto analog_naive = generate_all(*model, task, n_prompts, n_tokens);
+
+  model->to_digital();
+  core::DeployOptions nopts;
+  nopts.tile = cim::TileConfig::paper_table2();
+  nopts.nora.enabled = true;
+  core::deploy_analog(*model, task, nopts);
+  const auto analog_nora = generate_all(*model, task, n_prompts, n_tokens);
+
+  std::printf("greedy continuations, model %s, %d prompts:\n\n", name.c_str(),
+              n_prompts);
+  util::Table table({"backend", "mean tokens agreeing with digital"});
+  table.add_row({"digital fp32", util::Table::num(
+                                     mean_agreement(digital, digital), 2)});
+  table.add_row({"naive analog", util::Table::num(
+                                     mean_agreement(digital, analog_naive), 2)});
+  table.add_row({"NORA analog", util::Table::num(
+                                    mean_agreement(digital, analog_nora), 2)});
+  table.print();
+  std::printf("\nfirst prompt, generated ids:\n  digital: ");
+  for (int t : digital[0]) std::printf("%d ", t);
+  std::printf("\n  naive:   ");
+  for (int t : analog_naive[0]) std::printf("%d ", t);
+  std::printf("\n  NORA:    ");
+  for (int t : analog_nora[0]) std::printf("%d ", t);
+  std::printf("\n\nnoise compounds over autoregressive steps; NORA keeps the "
+              "trajectory aligned.\n");
+  return 0;
+}

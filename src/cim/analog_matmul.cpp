@@ -1,0 +1,202 @@
+#include "cim/analog_matmul.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace nora::cim {
+
+AnalogMatmul::AnalogMatmul(const Matrix& w, std::vector<float> s,
+                           const TileConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      k_(w.rows()),
+      n_(w.cols()),
+      s_(std::move(s)),
+      dac_(cfg.dac_steps(), 1.0f),
+      sshape_(cfg.sshape_k),
+      rng_(seed) {
+  if (k_ == 0 || n_ == 0) throw std::invalid_argument("AnalogMatmul: empty weights");
+  if (s_.empty()) s_.assign(static_cast<std::size_t>(k_), 1.0f);
+  if (static_cast<std::int64_t>(s_.size()) != k_) {
+    throw std::invalid_argument("AnalogMatmul: s length must equal in_dim");
+  }
+  for (float v : s_) {
+    if (!(v > 0.0f) || !std::isfinite(v)) {
+      throw std::invalid_argument("AnalogMatmul: s entries must be finite and > 0");
+    }
+  }
+  // Fold s into the weights (Eq. 6), then partition over the tile grid.
+  Matrix w_scaled = w;
+  for (std::int64_t k = 0; k < k_; ++k) {
+    auto row = w_scaled.row(k);
+    const float sk = s_[static_cast<std::size_t>(k)];
+    for (auto& v : row) v *= sk;
+  }
+  const std::int64_t tr = cfg_.tile_rows, tc = cfg_.tile_cols;
+  int tile_id = 0;
+  for (std::int64_t k0 = 0; k0 < k_; k0 += tr) {
+    RowBlock block;
+    block.k0 = k0;
+    block.k1 = std::min(k_, k0 + tr);
+    for (std::int64_t c0 = 0; c0 < n_; c0 += tc) {
+      const std::int64_t c1 = std::min(n_, c0 + tc);
+      Matrix slice(block.k1 - block.k0, c1 - c0);
+      for (std::int64_t k = block.k0; k < block.k1; ++k) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          slice.at(k - block.k0, c - c0) = w_scaled.at(k, c);
+        }
+      }
+      block.tiles.push_back(std::make_unique<AnalogTile>(
+          slice, cfg_, rng_.split("tile-" + std::to_string(tile_id++))));
+      block.col0.push_back(c0);
+    }
+    blocks_.push_back(std::move(block));
+  }
+  xs_buf_.resize(static_cast<std::size_t>(tr));
+  xhat_buf_.resize(static_cast<std::size_t>(tr));
+}
+
+bool AnalogMatmul::run_block(RowBlock& block, std::span<const float> x_s,
+                             float alpha, std::span<float> y) {
+  const std::int64_t nk = block.k1 - block.k0;
+  // Input path: rescale by alpha, DAC-quantize (clipping at full scale),
+  // S-shape nonlinearity, additive input noise.
+  const float inv_alpha = 1.0f / alpha;
+  double l2 = 0.0;
+  for (std::int64_t k = 0; k < nk; ++k) {
+    float v = x_s[static_cast<std::size_t>(k)] * inv_alpha;
+    ++stats_.dac_samples;
+    if (std::fabs(v) > 1.0f) {
+      ++stats_.dac_clipped;
+      v = v > 0.0f ? 1.0f : -1.0f;
+    }
+    v = dac_.quantize(v);
+    v = sshape_.apply(v);
+    if (cfg_.in_noise > 0.0f) {
+      v += static_cast<float>(rng_.gaussian(0.0, cfg_.in_noise));
+    }
+    xhat_buf_[static_cast<std::size_t>(k)] = v;
+    l2 += double(v) * v;
+  }
+  const float x_l2 = static_cast<float>(std::sqrt(l2));
+  const std::span<const float> x_hat(xhat_buf_.data(), static_cast<std::size_t>(nk));
+  bool saturated = false;
+  for (std::size_t t = 0; t < block.tiles.size(); ++t) {
+    AnalogTile& tile = *block.tiles[t];
+    saturated |= tile.mvm(x_hat, x_l2, alpha,
+                          y.subspan(static_cast<std::size_t>(block.col0[t]),
+                                    static_cast<std::size_t>(tile.cols())),
+                          rng_);
+  }
+  return saturated;
+}
+
+Matrix AnalogMatmul::forward(const Matrix& x) {
+  if (x.cols() != k_) throw std::invalid_argument("AnalogMatmul::forward: dim mismatch");
+  const std::int64_t t_count = x.rows();
+  Matrix y(t_count, n_);
+  // For the kAvgAbsMax policy the scale is shared across the batch.
+  std::vector<float> avg_alpha(blocks_.size(), 0.0f);
+  if (cfg_.scaling == InputScaling::kAvgAbsMax && t_count > 0) {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      double sum = 0.0;
+      for (std::int64_t t = 0; t < t_count; ++t) {
+        const auto row = x.row(t);
+        float m = 0.0f;
+        for (std::int64_t k = blocks_[b].k0; k < blocks_[b].k1; ++k) {
+          m = std::max(m, std::fabs(row[k] / s_[static_cast<std::size_t>(k)]));
+        }
+        sum += m;
+      }
+      avg_alpha[b] = static_cast<float>(sum / static_cast<double>(t_count));
+      if (avg_alpha[b] <= 0.0f) avg_alpha[b] = 1.0f;
+    }
+  }
+  std::vector<float> y_block(static_cast<std::size_t>(n_));
+  for (std::int64_t t = 0; t < t_count; ++t) {
+    const auto xrow = x.row(t);
+    auto yrow = y.row(t);
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      RowBlock& block = blocks_[b];
+      const std::int64_t nk = block.k1 - block.k0;
+      float abs_max = 0.0f;
+      for (std::int64_t k = 0; k < nk; ++k) {
+        const float v = xrow[block.k0 + k] / s_[static_cast<std::size_t>(block.k0 + k)];
+        xs_buf_[static_cast<std::size_t>(k)] = v;
+        abs_max = std::max(abs_max, std::fabs(v));
+      }
+      float alpha = 1.0f;
+      switch (cfg_.scaling) {
+        case InputScaling::kNone:
+          alpha = 1.0f;
+          break;
+        case InputScaling::kAbsMax:
+          alpha = abs_max > 0.0f ? abs_max : 1.0f;  // Eq. 5 / Eq. 7
+          break;
+        case InputScaling::kAvgAbsMax:
+          alpha = avg_alpha[b];
+          break;
+      }
+      const std::span<const float> x_s(xs_buf_.data(), static_cast<std::size_t>(nk));
+      // Bound management [Gokmen'17]: rerun with doubled alpha while the
+      // ADC saturates (weaker signal, but no output clipping).
+      int iter = 0;
+      for (;;) {
+        std::fill(y_block.begin(), y_block.end(), 0.0f);
+        const bool saturated = run_block(block, x_s, alpha,
+                                         std::span<float>(y_block.data(),
+                                                          y_block.size()));
+        if (!saturated || !cfg_.bound_management || iter >= cfg_.bm_max_iters) break;
+        alpha *= 2.0f;
+        ++iter;
+        ++stats_.bm_retries;
+      }
+      stats_.alpha_sum += alpha;
+      ++stats_.alpha_count;
+      for (std::int64_t j = 0; j < n_; ++j) yrow[j] += y_block[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+void AnalogMatmul::set_read_time(float t_seconds) {
+  for (auto& block : blocks_) {
+    for (auto& tile : block.tiles) tile->set_read_time(t_seconds);
+  }
+}
+
+double AnalogMatmul::mean_gamma() const {
+  double sum = 0.0;
+  std::int64_t count = 0;
+  for (const auto& block : blocks_) {
+    for (const auto& tile : block.tiles) {
+      for (float g : tile->gamma()) sum += g;
+      count += tile->cols();
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double AnalogMatmul::mean_alpha_gamma_gmax() const {
+  return mean_alpha() * mean_gamma() * cfg_.g_max;
+}
+
+std::int64_t AnalogMatmul::adc_reads() const {
+  std::int64_t n = 0;
+  for (const auto& block : blocks_) {
+    for (const auto& tile : block.tiles) n += tile->adc_reads();
+  }
+  return n;
+}
+
+std::int64_t AnalogMatmul::adc_saturations() const {
+  std::int64_t n = 0;
+  for (const auto& block : blocks_) {
+    for (const auto& tile : block.tiles) n += tile->adc_saturations();
+  }
+  return n;
+}
+
+void AnalogMatmul::reset_stats() { stats_ = ArrayStats{}; }
+
+}  // namespace nora::cim

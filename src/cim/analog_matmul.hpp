@@ -1,0 +1,103 @@
+// A full analog matrix-multiply unit: a logical [K x N] weight matrix
+// partitioned over a grid of physical tiles (paper Table II: 512x512),
+// with the input path (rescale -> DAC -> non-idealities) and digital
+// accumulation of per-tile partial sums.
+//
+// This is where NORA's rescale vector `s` (Eq. 6-8) plugs in:
+//   - weights are programmed as  (w_kj * s_k) / gamma'_j
+//   - inputs are streamed as      x_k / (alpha'_i * s_k)
+// With all noise disabled the `s` terms cancel exactly and the unit
+// computes x * W bit-for-bit (up to float rounding) — the core
+// output-invariance property of the method, enforced by tests.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cim/analog_tile.hpp"
+#include "cim/tile_config.hpp"
+#include "noise/quantizer.hpp"
+#include "noise/sshape.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nora::cim {
+
+struct ArrayStats {
+  double alpha_sum = 0.0;          // sum of final per-(token, block) alphas
+  std::int64_t alpha_count = 0;
+  std::int64_t dac_samples = 0;
+  std::int64_t dac_clipped = 0;    // |x/alpha/s| > 1 before quantization
+  std::int64_t bm_retries = 0;     // bound-management re-runs
+
+  double mean_alpha() const {
+    return alpha_count > 0 ? alpha_sum / static_cast<double>(alpha_count) : 0.0;
+  }
+  double dac_clip_fraction() const {
+    return dac_samples > 0
+               ? static_cast<double>(dac_clipped) / static_cast<double>(dac_samples)
+               : 0.0;
+  }
+};
+
+class AnalogMatmul {
+ public:
+  /// w: logical weights [K x N] (input dim x output dim).
+  /// s: NORA rescale vector of length K, or empty for the naive mapping
+  ///    (equivalent to all-ones).
+  AnalogMatmul(const Matrix& w, std::vector<float> s, const TileConfig& cfg,
+               std::uint64_t seed);
+
+  std::int64_t in_dim() const { return k_; }
+  std::int64_t out_dim() const { return n_; }
+  const TileConfig& config() const { return cfg_; }
+  std::span<const float> s() const { return s_; }
+
+  /// x: [T x K] activations. Returns [T x N]. Consumes randomness from
+  /// the internal stream (deterministic given construction seed and
+  /// call sequence).
+  Matrix forward(const Matrix& x);
+
+  /// PCM drift: re-read all tiles t seconds after programming.
+  void set_read_time(float t_seconds);
+
+  // --- analytics for Fig. 6 ---
+  /// Mean per-column gamma over all tiles.
+  double mean_gamma() const;
+  /// Running mean alpha over all forwards so far.
+  double mean_alpha() const { return stats_.mean_alpha(); }
+  /// mean(alpha) * mean(gamma) * g_max — the Fig. 6c quantity; smaller
+  /// means larger output current into the ADC, i.e. higher SNR.
+  double mean_alpha_gamma_gmax() const;
+
+  const ArrayStats& stats() const { return stats_; }
+  std::int64_t adc_reads() const;
+  std::int64_t adc_saturations() const;
+  void reset_stats();
+
+ private:
+  struct RowBlock {
+    std::int64_t k0 = 0, k1 = 0;               // input-dim range
+    std::vector<std::unique_ptr<AnalogTile>> tiles;  // one per column block
+    std::vector<std::int64_t> col0;             // output-dim offsets
+  };
+
+  /// Run one (token, row-block) MVM attempt at the given alpha.
+  /// Returns true if any ADC saturated.
+  bool run_block(RowBlock& block, std::span<const float> x_s, float alpha,
+                 std::span<float> y);
+
+  TileConfig cfg_;
+  std::int64_t k_ = 0, n_ = 0;
+  std::vector<float> s_;
+  std::vector<RowBlock> blocks_;
+  noise::UniformQuantizer dac_;
+  noise::SShapeNonlinearity sshape_;
+  util::Rng rng_;
+  ArrayStats stats_;
+  std::vector<float> xs_buf_;    // x / s for the current token
+  std::vector<float> xhat_buf_;  // post-DAC normalized inputs
+};
+
+}  // namespace nora::cim

@@ -1,0 +1,112 @@
+#include "cim/analog_tile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::cim {
+
+AnalogTile::AnalogTile(const Matrix& w_slice, const TileConfig& cfg,
+                       util::Rng rng)
+    : cfg_(cfg),
+      rows_(w_slice.rows()),
+      cols_(w_slice.cols()),
+      adc_(cfg.adc_steps(), cfg.adc_bound),
+      read_noise_(cfg.w_noise),
+      ir_drop_(cfg.ir_drop, static_cast<int>(w_slice.rows())),
+      drift_(cfg.drift) {
+  if (rows_ == 0 || cols_ == 0) {
+    throw std::invalid_argument("AnalogTile: empty weight slice");
+  }
+  // Per-column scale gamma_j = max|w_j| (Eq. 4); zero columns map to 1 so
+  // the normalized weights stay finite (their outputs are exactly zero).
+  gamma_.assign(static_cast<std::size_t>(cols_), 0.0f);
+  for (std::int64_t k = 0; k < rows_; ++k) {
+    const auto row = w_slice.row(k);
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      gamma_[static_cast<std::size_t>(j)] =
+          std::max(gamma_[static_cast<std::size_t>(j)], std::fabs(row[j]));
+    }
+  }
+  for (auto& g : gamma_) {
+    if (g == 0.0f) g = 1.0f;
+  }
+  // Store the conductances transposed so each column's weights are
+  // contiguous for the per-column MVM loop.
+  w_hat_t_ = Matrix(cols_, rows_);
+  for (std::int64_t k = 0; k < rows_; ++k) {
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      w_hat_t_.at(j, k) = w_slice.at(k, j) / gamma_[static_cast<std::size_t>(j)];
+    }
+  }
+  // Program-time non-idealities, sampled exactly once.
+  if (cfg_.device == DeviceKind::kReramQuantized) {
+    // Discrete conductance levels, bit-sliced over multiple cells:
+    // effective precision = bits_per_cell * cells_per_weight bits.
+    const int total_bits = cfg_.reram_bits_per_cell * cfg_.reram_cells_per_weight;
+    if (total_bits <= 0 || total_bits > 16) {
+      throw std::invalid_argument("AnalogTile: ReRAM precision out of range");
+    }
+    const noise::UniformQuantizer grid(static_cast<float>(1 << total_bits), 1.0f);
+    float* p = w_hat_t_.data();
+    for (std::int64_t i = 0; i < w_hat_t_.size(); ++i) p[i] = grid.quantize(p[i]);
+  }
+  const noise::ProgrammingNoise prog(cfg_.prog_noise_scale);
+  util::Rng prog_rng = rng.split("programming");
+  prog.apply(w_hat_t_, prog_rng, cfg_.write_verify_iters);
+  if (cfg_.drift_enabled) {
+    util::Rng drift_rng = rng.split("drift");
+    drift_nu_t_ = drift_.sample_exponents(cols_, rows_, drift_rng);
+  }
+  w_hat_t_effective_ = w_hat_t_;
+}
+
+void AnalogTile::set_read_time(float t_seconds) {
+  w_hat_t_effective_ = w_hat_t_;
+  if (cfg_.drift_enabled && t_seconds > 0.0f) {
+    drift_.apply(w_hat_t_effective_, drift_nu_t_, t_seconds);
+  }
+}
+
+bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
+                     std::span<float> y, util::Rng& rng) {
+  if (static_cast<std::int64_t>(x_hat.size()) != rows_ ||
+      static_cast<std::int64_t>(y.size()) != cols_) {
+    throw std::invalid_argument("AnalogTile::mvm: size mismatch");
+  }
+  const bool use_ir = ir_drop_.enabled();
+  if (use_ir && contrib_buf_.size() != x_hat.size()) {
+    contrib_buf_.resize(x_hat.size());
+  }
+  bool any_saturated = false;
+  for (std::int64_t j = 0; j < cols_; ++j) {
+    const float* wcol = w_hat_t_effective_.data() + j * rows_;
+    float acc;
+    if (use_ir) {
+      for (std::int64_t k = 0; k < rows_; ++k) contrib_buf_[k] = wcol[k] * x_hat[k];
+      acc = ir_drop_.accumulate_column(
+          std::span<const float>(contrib_buf_.data(), contrib_buf_.size()));
+    } else {
+      double s = 0.0;
+      for (std::int64_t k = 0; k < rows_; ++k) s += double(wcol[k]) * x_hat[k];
+      acc = static_cast<float>(s);
+    }
+    // Short-term read noise (aggregated, statistically exact) and the
+    // system additive output noise, both before the ADC.
+    if (read_noise_.enabled()) {
+      acc += static_cast<float>(rng.gaussian(0.0, read_noise_.sigma() * x_hat_l2));
+    }
+    if (cfg_.out_noise > 0.0f) {
+      acc += static_cast<float>(rng.gaussian(0.0, cfg_.out_noise));
+    }
+    ++adc_reads_;
+    if (adc_.saturates(acc)) {
+      ++adc_saturations_;
+      any_saturated = true;
+    }
+    acc = adc_.quantize(acc);
+    y[j] += alpha * gamma_[static_cast<std::size_t>(j)] * acc;
+  }
+  return any_saturated;
+}
+
+}  // namespace nora::cim

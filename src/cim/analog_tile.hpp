@@ -1,0 +1,77 @@
+// A single physical analog CIM tile (paper Fig. 2a, Eq. 3-5).
+//
+// The tile stores one [rows x cols] slice of a (possibly rescaled) weight
+// matrix as normalized conductances:
+//
+//   w_hat_kj = f_map(w_kj / gamma_j) + prog_noise,
+//   gamma_j  = max_k |w_kj|            (per-column scale, Eq. 4/6)
+//
+// and executes one MVM per input vector:
+//
+//   y_j = alpha * gamma_j * f_adc( sum_k w_hat_kj x_hat_k + out_noise )
+//
+// where x_hat is the DAC-quantized, noise-perturbed, nonlinearity-
+// distorted input produced by the owning tile array. All non-idealities
+// are controlled by TileConfig; with everything disabled the tile
+// reproduces the digital GEMV exactly (unit-tested).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cim/tile_config.hpp"
+#include "noise/drift.hpp"
+#include "noise/ir_drop.hpp"
+#include "noise/programming.hpp"
+#include "noise/quantizer.hpp"
+#include "noise/read_noise.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nora::cim {
+
+class AnalogTile {
+ public:
+  /// w_slice: logical weights [rows x cols] (any NORA rescale already
+  /// folded in by the caller). Programming noise and drift exponents are
+  /// sampled once here, at "program time".
+  AnalogTile(const Matrix& w_slice, const TileConfig& cfg, util::Rng rng);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::span<const float> gamma() const { return gamma_; }
+
+  /// One analog MVM. x_hat: normalized inputs [rows] (post-DAC).
+  /// x_hat_l2: L2 norm of x_hat (for the aggregated read-noise form).
+  /// Accumulates alpha * gamma_j * adc(...) into y[j] (j in [0, cols)).
+  /// Returns true if any ADC saturated (drives bound management).
+  bool mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
+           std::span<float> y, util::Rng& rng);
+
+  /// Re-derive the effective conductances at read time t seconds after
+  /// programming (PCM drift + global compensation). t = 0 restores the
+  /// as-programmed state.
+  void set_read_time(float t_seconds);
+
+  /// ADC saturation statistics since construction.
+  std::int64_t adc_reads() const { return adc_reads_; }
+  std::int64_t adc_saturations() const { return adc_saturations_; }
+
+ private:
+  TileConfig cfg_;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> gamma_;   // per-column scale
+  Matrix w_hat_t_;             // programmed conductances, TRANSPOSED [cols x rows]
+  Matrix w_hat_t_effective_;   // after drift at current read time
+  Matrix drift_nu_t_;          // per-device drift exponents [cols x rows]
+  noise::UniformQuantizer adc_;
+  noise::ShortTermReadNoise read_noise_;
+  noise::IrDropModel ir_drop_;
+  noise::PcmDriftModel drift_;
+  std::vector<float> contrib_buf_;  // per-row contributions (IR-drop path)
+  std::int64_t adc_reads_ = 0;
+  std::int64_t adc_saturations_ = 0;
+};
+
+}  // namespace nora::cim

@@ -1,0 +1,38 @@
+// Reference feature-map MSE probe — defines the noise *levels* of the
+// paper's sensitivity sweeps.
+//
+// Fig. 3's x-axis is "the noise magnitude that causes a given MSE
+// (1e-4 ... 2.8e-3) on a 4096x4096 feature map". We reproduce the
+// protocol on a scaled reference workload (Gaussian X [T x K] with unit
+// variance, Gaussian W [K x N] with variance 1/K, K = N = 256 by
+// default): run the analog unit with a single non-ideality enabled and
+// measure the MSE against the exact digital product. Combined with
+// noise::MseCalibrator this inverts "parameter -> MSE" into
+// "target MSE -> parameter", exactly as the paper's axis requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cim/tile_config.hpp"
+
+namespace nora::cim {
+
+struct MseProbeOptions {
+  std::int64_t k = 256;   // feature-map inner dim (paper: 4096, scaled down)
+  std::int64_t n = 256;
+  std::int64_t t = 32;    // number of probe vectors
+  std::uint64_t seed = 0xfeedbeefULL;
+  int repeats = 2;        // average stochastic noise over this many runs
+};
+
+/// MSE of the analog product under `cfg` vs the exact digital product.
+double feature_map_mse(const TileConfig& cfg, const MseProbeOptions& opts = {});
+
+/// Convenience: an MSE function over one noise knob, for MseCalibrator.
+/// `make_cfg(param)` must return an otherwise-ideal TileConfig with the
+/// knob of interest set to `param`.
+std::function<double(double)> mse_of_knob(
+    std::function<TileConfig(double)> make_cfg, MseProbeOptions opts = {});
+
+}  // namespace nora::cim

@@ -1,0 +1,69 @@
+#include "cim/tile_config.hpp"
+
+namespace nora::cim {
+
+TileConfig TileConfig::ideal() {
+  TileConfig c;
+  c.dac_bits = 0;
+  c.adc_bits = 0;
+  c.in_noise = 0.0f;
+  c.out_noise = 0.0f;
+  c.sshape_k = 0.0f;
+  c.w_noise = 0.0f;
+  c.prog_noise_scale = 0.0f;
+  c.ir_drop = 0.0f;
+  c.drift_enabled = false;
+  c.bound_management = false;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_out_noise(float sigma) {
+  TileConfig c = ideal();
+  c.out_noise = sigma;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_in_noise(float sigma) {
+  TileConfig c = ideal();
+  c.in_noise = sigma;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_adc(int bits, float bound) {
+  TileConfig c = ideal();
+  c.adc_bits = bits;
+  c.adc_bound = bound;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_dac(int bits) {
+  TileConfig c = ideal();
+  c.dac_bits = bits;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_w_noise(float sigma) {
+  TileConfig c = ideal();
+  c.w_noise = sigma;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_prog_noise(float scale) {
+  TileConfig c = ideal();
+  c.prog_noise_scale = scale;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_ir_drop(float scale) {
+  TileConfig c = ideal();
+  c.ir_drop = scale;
+  return c;
+}
+
+TileConfig TileConfig::ideal_except_sshape(float k) {
+  TileConfig c = ideal();
+  c.sshape_k = k;
+  return c;
+}
+
+}  // namespace nora::cim

@@ -1,0 +1,108 @@
+// Analog tile configuration — the knobs of paper Table II plus one flag
+// per modelled non-ideality (paper Table I).
+//
+// All non-idealities act in the tile's *normalized* domain: weights are
+// mapped to conductances in [-1, 1] (differential pair, normalized by
+// g_max) and inputs to voltages in [-1, 1]. g_max only matters for
+// reporting physical quantities (Fig. 6c plots alpha*gamma*g_max).
+#pragma once
+
+#include <cstdint>
+
+#include "noise/drift.hpp"
+
+namespace nora::cim {
+
+/// NVM device family (paper Sec. VII: "this method can also be extended
+/// to other NVM devices such as ReRAM. Although some NVM devices cannot
+/// provide continuous analog weights, they can achieve over 8-bit weight
+/// precision by using multiple memory cells").
+enum class DeviceKind {
+  kPcmAnalog,       // continuous conductance, PCM-like programming noise
+  kReramQuantized,  // discrete conductance levels, bit-sliced over cells
+};
+
+/// How the per-token input scale alpha_i is chosen before the DAC.
+enum class InputScaling {
+  kNone,       // alpha = 1 (inputs assumed pre-normalized)
+  kAbsMax,     // alpha_i = max|x_i| — Eq. 5, the paper's default
+  kAvgAbsMax,  // alpha = batch-average of row abs-max (noise management
+               // variant of [Gokmen'17]; trades clipping for resolution)
+};
+
+struct TileConfig {
+  // --- converters (Table II: in_res / out_res, 7 bit = 128 steps) ---
+  int dac_bits = 7;        // 0 disables input quantization
+  int adc_bits = 7;        // 0 disables output quantization
+  /// When > 0, these fractional step counts override the bit settings —
+  /// used by the MSE-matched sensitivity sweeps, which treat converter
+  /// resolution as a continuous noise knob.
+  float dac_steps_override = 0.0f;
+  float adc_steps_override = 0.0f;
+  float adc_bound = 12.0f; // ADC full scale in normalized output units
+                           // (AIHWKIT default out_bound)
+
+  float dac_steps() const {
+    if (dac_steps_override > 0.0f) return dac_steps_override;
+    return dac_bits > 0 ? static_cast<float>(1 << dac_bits) : 0.0f;
+  }
+  float adc_steps() const {
+    if (adc_steps_override > 0.0f) return adc_steps_override;
+    return adc_bits > 0 ? static_cast<float>(1 << adc_bits) : 0.0f;
+  }
+
+  // --- I/O non-idealities ---
+  float in_noise = 0.0f;   // additive Gaussian after the DAC
+  float out_noise = 0.04f; // additive Gaussian before the ADC (Table II)
+  float sshape_k = 0.0f;   // S-shape nonlinearity severity (0 = linear)
+
+  // --- device / programming model ---
+  DeviceKind device = DeviceKind::kPcmAnalog;
+  /// ReRAM only: conductance levels per cell and cells per weight;
+  /// effective weight precision = bits_per_cell * cells_per_weight bits.
+  int reram_bits_per_cell = 4;
+  int reram_cells_per_weight = 2;
+  /// Iterative write-verify programming [Buechel'23, Mackin'22]: each
+  /// extra iteration reads the device and corrects toward the target,
+  /// geometrically shrinking the programming error toward a floor set
+  /// by pulse granularity. 1 = single-shot programming.
+  int write_verify_iters = 1;
+
+  // --- tile non-idealities ---
+  float w_noise = 0.0175f;      // short-term read noise (Table II)
+  float prog_noise_scale = 1.0f; // programming-noise scale (1 = nominal)
+  float ir_drop = 1.0f;          // IR-drop scale (Table II)
+  noise::DriftConfig drift;      // PCM drift model parameters
+  bool drift_enabled = false;    // drift only matters for the t > 0 ablation
+
+  // --- geometry / physics ---
+  int tile_rows = 512;   // Table II tile_size
+  int tile_cols = 512;
+  float g_max = 25.0f;   // muS; used only in reported alpha*gamma*g_max
+
+  // --- input management ---
+  InputScaling scaling = InputScaling::kAbsMax;
+  bool bound_management = false; // iterative alpha doubling on ADC saturation
+  int bm_max_iters = 3;
+
+  std::uint64_t seed = 0x5eedf00dULL;
+
+  /// The paper's Table II operating point (all non-idealities on).
+  static TileConfig paper_table2() { return TileConfig{}; }
+
+  /// Fully ideal tile: quantizers off, every noise zero. Output must
+  /// equal the digital GEMM (unit-tested invariant).
+  static TileConfig ideal();
+
+  /// Ideal tile with exactly one knob left for sensitivity sweeps.
+  static TileConfig ideal_except_out_noise(float sigma);
+  static TileConfig ideal_except_in_noise(float sigma);
+  static TileConfig ideal_except_adc(int bits, float bound = 12.0f);
+  static TileConfig ideal_except_dac(int bits);
+  static TileConfig ideal_except_w_noise(float sigma);
+  static TileConfig ideal_except_prog_noise(float scale);
+  static TileConfig ideal_except_ir_drop(float scale);
+  static TileConfig ideal_except_sshape(float k);
+};
+
+}  // namespace nora::cim

@@ -1,0 +1,156 @@
+#include "core/nora.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/stats.hpp"
+
+namespace nora::core {
+
+std::vector<LayerCalibration> calibrate(nn::TransformerLM& model,
+                                        const eval::SynthLambada& task,
+                                        int n_examples) {
+  if (model.is_analog()) {
+    throw std::logic_error("calibrate: model must be digital during calibration");
+  }
+  const auto linears = model.linear_layers();
+  for (auto* lin : linears) lin->set_capture_input(true);
+  for (const auto& tokens : task.calibration_set(n_examples)) {
+    model.forward(tokens, /*training=*/false);
+  }
+  std::vector<LayerCalibration> out;
+  out.reserve(linears.size());
+  for (auto* lin : linears) {
+    LayerCalibration cal;
+    cal.layer = lin->name();
+    cal.act_abs_max.assign(lin->input_abs_max().begin(), lin->input_abs_max().end());
+    cal.w_abs_max = lin->weight_row_abs_max();
+    out.push_back(std::move(cal));
+    lin->set_capture_input(false);
+  }
+  return out;
+}
+
+std::vector<float> smoothing_vector(const LayerCalibration& cal, float lambda,
+                                    float s_min) {
+  if (cal.act_abs_max.size() != cal.w_abs_max.size()) {
+    throw std::invalid_argument("smoothing_vector: channel count mismatch");
+  }
+  std::vector<float> s(cal.act_abs_max.size(), 1.0f);
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    const float ax = cal.act_abs_max[k];
+    const float wx = cal.w_abs_max[k];
+    // s_k = max|x_k|^lambda / max|w_k|^(1-lambda). Dead channels (no
+    // activation or zero weight row) keep s = 1.
+    if (ax <= 0.0f || wx <= 0.0f) continue;
+    const float v = std::pow(ax, lambda) / std::pow(wx, 1.0f - lambda);
+    s[k] = std::isfinite(v) ? std::max(v, s_min) : 1.0f;
+  }
+  return s;
+}
+
+std::vector<LayerCalibration> deploy_analog(nn::TransformerLM& model,
+                                            const eval::SynthLambada& task,
+                                            const DeployOptions& opts) {
+  std::vector<LayerCalibration> cals;
+  if (opts.nora.enabled) {
+    cals = calibrate(model, task, opts.nora.calib_examples);
+  }
+  const auto linears = model.linear_layers();
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    std::vector<float> s;
+    if (opts.nora.enabled) {
+      s = smoothing_vector(cals[i], opts.nora.lambda, opts.nora.s_min);
+    }
+    linears[i]->to_analog(opts.tile, std::move(s),
+                          util::derive_seed(opts.seed, linears[i]->name()));
+  }
+  return cals;
+}
+
+std::vector<LayerDistStats> distribution_stats(nn::TransformerLM& model,
+                                               const eval::SynthLambada& task,
+                                               const NoraOptions& nora,
+                                               bool apply_nora) {
+  if (model.is_analog()) {
+    throw std::logic_error("distribution_stats: run on the digital model");
+  }
+  // One pass for ranges (to build s), one pass capturing full inputs.
+  const auto cals = calibrate(model, task, nora.calib_examples);
+  const auto linears = model.linear_layers();
+  for (auto* lin : linears) lin->set_capture_full(true);
+  for (const auto& tokens : task.calibration_set(nora.calib_examples)) {
+    model.forward(tokens, /*training=*/false);
+  }
+  std::vector<LayerDistStats> out;
+  out.reserve(linears.size());
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    nn::Linear* lin = linears[i];
+    LayerDistStats st;
+    st.layer = lin->name();
+    Matrix x = lin->captured_inputs();
+    Matrix w = lin->weight().value;
+    if (apply_nora) {
+      const auto s = smoothing_vector(cals[i], nora.lambda, nora.s_min);
+      for (std::int64_t t = 0; t < x.rows(); ++t) {
+        auto row = x.row(t);
+        for (std::int64_t c = 0; c < x.cols(); ++c) row[c] /= s[static_cast<std::size_t>(c)];
+      }
+      for (std::int64_t k = 0; k < w.rows(); ++k) {
+        auto row = w.row(k);
+        const float sk = s[static_cast<std::size_t>(k)];
+        for (auto& v : row) v *= sk;
+      }
+    }
+    st.input_kurtosis = stats::kurtosis(x);
+    st.weight_kurtosis = stats::kurtosis(w);
+    out.push_back(std::move(st));
+    lin->set_capture_full(false);
+  }
+  return out;
+}
+
+void deploy_digital_int8(nn::TransformerLM& model,
+                         const eval::SynthLambada& task,
+                         const NoraOptions& nora, bool static_act) {
+  std::vector<LayerCalibration> cals;
+  if (nora.enabled || static_act) {
+    cals = calibrate(model, task, nora.calib_examples);
+  }
+  const auto linears = model.linear_layers();
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    std::vector<float> s;
+    if (nora.enabled) s = smoothing_vector(cals[i], nora.lambda, nora.s_min);
+    float static_scale = 0.0f;
+    if (static_act) {
+      // Calibrated per-tensor range of the (rescaled) activations.
+      float amax = 0.0f;
+      for (std::size_t k = 0; k < cals[i].act_abs_max.size(); ++k) {
+        const float sk = s.empty() ? 1.0f : s[k];
+        amax = std::max(amax, cals[i].act_abs_max[k] / sk);
+      }
+      static_scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    }
+    linears[i]->to_int8(std::move(s), static_scale);
+  }
+}
+
+void set_read_time(nn::TransformerLM& model, float t_seconds) {
+  for (auto* lin : model.linear_layers()) {
+    if (lin->is_analog()) lin->analog()->set_read_time(t_seconds);
+  }
+}
+
+std::vector<LayerDistStats> scaling_factor_stats(nn::TransformerLM& model) {
+  std::vector<LayerDistStats> out;
+  for (auto* lin : model.linear_layers()) {
+    if (!lin->is_analog()) continue;
+    LayerDistStats st;
+    st.layer = lin->name();
+    st.alpha_gamma_gmax = lin->analog()->mean_alpha_gamma_gmax();
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+}  // namespace nora::core

@@ -1,0 +1,106 @@
+// NORA — Noise-Optimized Rescaling (the paper's contribution, Sec. IV).
+//
+// For every analog-mapped linear layer, a per-input-channel rescale
+//   s_k = max|x_k|^lambda / max|w_k|^(1-lambda)          (Sec. IV)
+// is folded into the tile's scaling factors: weights are programmed as
+// w_kj * s_k / gamma'_j (Eq. 6) and inputs streamed as x_k / (alpha'_i s_k)
+// (Eq. 7). The product of scale-backs alpha'_i * gamma'_j (Eq. 8) shrinks,
+// which (a) tightens the input distribution entering the DAC (less
+// quantization/clipping loss) and (b) raises the output current into the
+// ADC (higher SNR against additive Gaussian noise). The transform is
+// mathematically exact — with all non-idealities disabled the model
+// output is unchanged.
+//
+// max|x_k| comes from a small offline calibration pass (the paper uses
+// the Pile; we use held-out SynthLambada sequences), exploiting that LLM
+// activation outliers live in fixed channels regardless of input [4,33].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cim/tile_config.hpp"
+#include "eval/synthlambada.hpp"
+#include "nn/transformer.hpp"
+
+namespace nora::core {
+
+struct NoraOptions {
+  bool enabled = true;
+  /// Migration strength: 0 = all burden on weights' side unused (s from
+  /// weights only), 1 = s from activations only. Paper follows
+  /// SmoothQuant's default 0.5.
+  float lambda = 0.5f;
+  /// Lower clamp on s entries (guards dead channels).
+  float s_min = 1e-3f;
+  int calib_examples = 32;
+};
+
+struct LayerCalibration {
+  std::string layer;
+  std::vector<float> act_abs_max;  // per input channel, from calibration
+  std::vector<float> w_abs_max;    // per input channel (row max of W)
+};
+
+/// Run the offline calibration pass on the *digital* model: record
+/// per-channel max|x_k| at the input of every linear layer.
+std::vector<LayerCalibration> calibrate(nn::TransformerLM& model,
+                                        const eval::SynthLambada& task,
+                                        int n_examples);
+
+/// The NORA smoothing vector for one layer (clamped, NaN-safe).
+std::vector<float> smoothing_vector(const LayerCalibration& cal, float lambda,
+                                    float s_min);
+
+struct DeployOptions {
+  cim::TileConfig tile;       // hardware operating point (Table II etc.)
+  NoraOptions nora;           // nora.enabled = false -> naive mapping
+  std::uint64_t seed = 2025;  // per-layer analog seeds derive from this
+};
+
+/// Convert every linear layer of the model to the analog backend
+/// (running calibration first if NORA is enabled). The model must
+/// currently be digital. Returns the per-layer calibrations used.
+std::vector<LayerCalibration> deploy_analog(nn::TransformerLM& model,
+                                            const eval::SynthLambada& task,
+                                            const DeployOptions& opts);
+
+// ---------------------------------------------------------------------
+// Distribution analytics (Fig. 4 / Fig. 6).
+
+struct LayerDistStats {
+  std::string layer;
+  double input_kurtosis = 0.0;   // of x (naive) or x / s (NORA)
+  double weight_kurtosis = 0.0;  // of W (naive) or W * s (NORA)
+  double alpha_gamma_gmax = 0.0; // only filled after analog forwards
+};
+
+/// Capture activations on the digital model over calibration data and
+/// report per-layer input/weight kurtosis as they would enter the tiles,
+/// i.e. after dividing/multiplying by this layer's s (pass lambda < 0 or
+/// nora.enabled=false semantics via `apply_nora`).
+std::vector<LayerDistStats> distribution_stats(nn::TransformerLM& model,
+                                               const eval::SynthLambada& task,
+                                               const NoraOptions& nora,
+                                               bool apply_nora);
+
+/// After analog forwards, collect mean alpha*gamma*g_max per layer.
+std::vector<LayerDistStats> scaling_factor_stats(nn::TransformerLM& model);
+
+/// PCM drift: re-read every analog layer t seconds after programming
+/// (requires tile.drift_enabled at deployment).
+void set_read_time(nn::TransformerLM& model, float t_seconds);
+
+/// Digital W8A8 INT8 deployment — the digital-core baseline family of
+/// the paper's related work (Sec. VI). nora.enabled selects plain INT8
+/// (false) vs SmoothQuant-rescaled INT8 (true); the rescale vector uses
+/// the same calibration and formula as NORA. static_act selects static
+/// per-tensor activation quantization (scales fixed from calibration —
+/// the deployment mode SmoothQuant targets) instead of per-token
+/// dynamic scaling.
+void deploy_digital_int8(nn::TransformerLM& model,
+                         const eval::SynthLambada& task,
+                         const NoraOptions& nora, bool static_act = false);
+
+}  // namespace nora::core

@@ -1,0 +1,115 @@
+#include "core/profile.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace nora::core {
+
+namespace {
+constexpr char kMagic[4] = {'N', 'P', 'R', 'O'};
+constexpr std::int64_t kVersion = 1;
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_i64(out, static_cast<std::int64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const std::int64_t n = read_i64(in);
+  if (n < 0 || n > (1 << 16)) throw std::runtime_error("profile: bad string");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  in.read(s.data(), n);
+  if (!in) throw std::runtime_error("profile: truncated string");
+  return s;
+}
+
+void write_floats(std::ostream& out, const std::vector<float>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& in) {
+  const std::int64_t n = read_i64(in);
+  if (n < 0 || n > (1 << 24)) throw std::runtime_error("profile: bad vector");
+  std::vector<float> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("profile: truncated vector");
+  return v;
+}
+}  // namespace
+
+NoraProfile make_profile(nn::TransformerLM& model,
+                         const eval::SynthLambada& task,
+                         const NoraOptions& opts) {
+  NoraProfile profile;
+  profile.lambda = opts.lambda;
+  profile.layers = calibrate(model, task, opts.calib_examples);
+  return profile;
+}
+
+void save_profile(const std::string& path, const NoraProfile& profile) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_profile: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_i64(out, kVersion);
+  write_f32(out, profile.lambda);
+  write_i64(out, static_cast<std::int64_t>(profile.layers.size()));
+  for (const auto& layer : profile.layers) {
+    write_string(out, layer.layer);
+    write_floats(out, layer.act_abs_max);
+    write_floats(out, layer.w_abs_max);
+  }
+  if (!out) throw std::runtime_error("save_profile: write failed for " + path);
+}
+
+NoraProfile load_profile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_profile: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_profile: bad magic in " + path);
+  }
+  if (read_i64(in) != kVersion) {
+    throw std::runtime_error("load_profile: unsupported version in " + path);
+  }
+  NoraProfile profile;
+  profile.lambda = read_f32(in);
+  const std::int64_t n = read_i64(in);
+  if (n < 0 || n > (1 << 16)) throw std::runtime_error("load_profile: bad count");
+  for (std::int64_t i = 0; i < n; ++i) {
+    LayerCalibration layer;
+    layer.layer = read_string(in);
+    layer.act_abs_max = read_floats(in);
+    layer.w_abs_max = read_floats(in);
+    profile.layers.push_back(std::move(layer));
+  }
+  return profile;
+}
+
+void deploy_analog_with_profile(nn::TransformerLM& model,
+                                const NoraProfile& profile,
+                                const cim::TileConfig& tile, float s_min,
+                                std::uint64_t seed) {
+  const auto linears = model.linear_layers();
+  if (linears.size() != profile.layers.size()) {
+    throw std::invalid_argument("deploy_analog_with_profile: layer count mismatch");
+  }
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    if (linears[i]->name() != profile.layers[i].layer) {
+      throw std::invalid_argument("deploy_analog_with_profile: layer '" +
+                                  linears[i]->name() + "' does not match '" +
+                                  profile.layers[i].layer + "'");
+    }
+    auto s = smoothing_vector(profile.layers[i], profile.lambda, s_min);
+    linears[i]->to_analog(tile, std::move(s),
+                          util::derive_seed(seed, linears[i]->name()));
+  }
+}
+
+}  // namespace nora::core

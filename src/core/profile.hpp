@@ -1,0 +1,41 @@
+// Persistent NORA calibration profiles.
+//
+// The paper (Sec. IV, citing SmoothQuant): "this component could be
+// calculated by a small calibration dataset offline and used for all
+// tasks". A NoraProfile captures exactly that artifact — the per-layer
+// per-channel activation/weight ranges plus lambda — so a deployment can
+// program tiles without re-running calibration (or even without the
+// calibration data being present).
+//
+// Format: magic "NPRO", version, lambda, then per layer: name,
+// act_abs_max[], w_abs_max[].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/nora.hpp"
+
+namespace nora::core {
+
+struct NoraProfile {
+  float lambda = 0.5f;
+  std::vector<LayerCalibration> layers;
+};
+
+/// Build a profile by calibrating the (digital) model.
+NoraProfile make_profile(nn::TransformerLM& model,
+                         const eval::SynthLambada& task,
+                         const NoraOptions& opts);
+
+void save_profile(const std::string& path, const NoraProfile& profile);
+NoraProfile load_profile(const std::string& path);  // throws on corruption
+
+/// Deploy all linear layers to analog using a saved profile (layer names
+/// must match the model). Throws std::invalid_argument on mismatch.
+void deploy_analog_with_profile(nn::TransformerLM& model,
+                                const NoraProfile& profile,
+                                const cim::TileConfig& tile, float s_min,
+                                std::uint64_t seed);
+
+}  // namespace nora::core

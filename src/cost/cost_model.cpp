@@ -1,0 +1,95 @@
+#include "cost/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::cost {
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+LayerCost analog_linear_cost(std::int64_t k, std::int64_t n,
+                             std::int64_t tokens, const cim::TileConfig& cfg,
+                             const DeviceCosts& d) {
+  if (k <= 0 || n <= 0 || tokens <= 0) {
+    throw std::invalid_argument("analog_linear_cost: non-positive dims");
+  }
+  LayerCost c;
+  const std::int64_t row_blocks = ceil_div(k, cfg.tile_rows);
+  const double dac_steps = cfg.dac_steps() > 0 ? cfg.dac_steps() : 256.0;
+  const double adc_steps = cfg.adc_steps() > 0 ? cfg.adc_steps() : 256.0;
+  // DAC: every input element converted once per token (row blocks each
+  // convert their own slice; slices partition k).
+  const double dac_convs = static_cast<double>(tokens) * k;
+  c.dac_pj = dac_convs * d.dac_fom_fj_per_step * dac_steps * 1e-3;
+  // ADC: every tile outputs its columns once per token; partial sums
+  // from different row blocks are converted separately.
+  const double adc_convs = static_cast<double>(tokens) * row_blocks * n;
+  c.adc_pj = adc_convs * d.adc_fom_fj_per_step * adc_steps * 1e-3;
+  // Crossbar: every cell contributes current on every read.
+  c.cell_pj = static_cast<double>(tokens) * k * n * d.cell_read_fj * 1e-3;
+  c.energy_pj = c.dac_pj + c.adc_pj + c.cell_pj;
+  // All tiles fire in parallel; tokens are sequential (the O(1) MVM of
+  // the paper's Sec. I). Bound-management retries would multiply this.
+  c.latency_ns = static_cast<double>(tokens) * d.tile_read_latency_ns;
+  // Area: cells (differential pair -> 2 devices per weight) + one ADC
+  // per physical tile.
+  const std::int64_t tiles = row_blocks * ceil_div(n, cfg.tile_cols);
+  c.area_um2 = 2.0 * static_cast<double>(k) * n * d.cell_area_um2 +
+               static_cast<double>(tiles) * d.adc_area_um2;
+  return c;
+}
+
+LayerCost digital_linear_cost(std::int64_t k, std::int64_t n,
+                              std::int64_t tokens, int bits,
+                              const DeviceCosts& d) {
+  if (k <= 0 || n <= 0 || tokens <= 0) {
+    throw std::invalid_argument("digital_linear_cost: non-positive dims");
+  }
+  if (bits != 8 && bits != 32) {
+    throw std::invalid_argument("digital_linear_cost: bits must be 8 or 32");
+  }
+  LayerCost c;
+  const double macs = static_cast<double>(tokens) * k * n;
+  const double mac_pj = bits == 32 ? d.fp32_mac_pj : d.int8_mac_pj;
+  c.mac_pj = macs * mac_pj;
+  // Memory wall: weights stream from DRAM once per batch (amortized over
+  // `tokens`), activations move through SRAM per token.
+  const double weight_bytes = static_cast<double>(k) * n * (bits / 8.0);
+  const double act_bytes = static_cast<double>(tokens) * (k + n) * (bits / 8.0);
+  c.mem_pj = weight_bytes * d.dram_pj_per_byte + act_bytes * d.sram_pj_per_byte;
+  c.energy_pj = c.mac_pj + c.mem_pj;
+  // Latency: compute-bound or DRAM-bound, whichever dominates.
+  const double compute_ns = macs / d.digital_macs_per_ns;
+  const double mem_ns = weight_bytes / d.dram_bytes_per_ns;
+  c.latency_ns = std::max(compute_ns, mem_ns);
+  return c;
+}
+
+ModelCost model_linear_cost(nn::TransformerLM& model, std::int64_t tokens,
+                            Backend backend, const cim::TileConfig& cfg,
+                            const DeviceCosts& d) {
+  ModelCost total;
+  for (auto* lin : model.linear_layers()) {
+    LayerCost c;
+    switch (backend) {
+      case Backend::kAnalogCim:
+        c = analog_linear_cost(lin->in_dim(), lin->out_dim(), tokens, cfg, d);
+        break;
+      case Backend::kDigitalFp32:
+        c = digital_linear_cost(lin->in_dim(), lin->out_dim(), tokens, 32, d);
+        break;
+      case Backend::kDigitalInt8:
+        c = digital_linear_cost(lin->in_dim(), lin->out_dim(), tokens, 8, d);
+        break;
+    }
+    c.layer = lin->name();
+    total.energy_pj += c.energy_pj;
+    total.latency_ns += c.latency_ns;
+    total.layers.push_back(std::move(c));
+  }
+  return total;
+}
+
+}  // namespace nora::cost

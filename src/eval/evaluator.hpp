@@ -1,0 +1,27 @@
+// Task evaluation: SynthLambada last-word accuracy (the paper's Lambada
+// metric) and cross-entropy, for whatever backend the model's linear
+// layers currently run on (digital fp32 or analog CIM).
+#pragma once
+
+#include <string>
+
+#include "eval/synthlambada.hpp"
+#include "nn/transformer.hpp"
+
+namespace nora::eval {
+
+struct EvalResult {
+  double accuracy = 0.0;   // top-1 on the final (answer) position
+  double avg_loss = 0.0;   // mean answer-position cross-entropy
+  int n_examples = 0;
+};
+
+struct EvalOptions {
+  std::string split = "test";
+  int n_examples = 128;
+};
+
+EvalResult evaluate(nn::TransformerLM& model, const SynthLambada& task,
+                    const EvalOptions& opts = {});
+
+}  // namespace nora::eval

@@ -1,0 +1,119 @@
+#include "eval/synthlambada.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nora::eval {
+
+SynthLambada::SynthLambada(SynthLambadaConfig cfg) : cfg_(cfg) {
+  if (cfg_.n_queries < 1) throw std::invalid_argument("SynthLambada: n_queries < 1");
+  const int query_tokens = 3 * (cfg_.n_queries - 1) + 2;
+  const int overhead = 1 /*BOS*/ + query_tokens + 2 * cfg_.n_pairs;
+  if (cfg_.seq_len < overhead + 1) {
+    throw std::invalid_argument("SynthLambada: seq_len too short for n_pairs/n_queries");
+  }
+  if (cfg_.n_pairs > cfg_.n_keys) {
+    throw std::invalid_argument("SynthLambada: n_pairs exceeds n_keys");
+  }
+}
+
+Example SynthLambada::make_example(const std::string& split,
+                                   std::uint64_t index) const {
+  util::Rng rng(util::derive_seed(util::derive_seed(cfg_.seed, split),
+                                  "ex-" + std::to_string(index)));
+  Example ex;
+  const int t_len = cfg_.seq_len;
+  // n_queries is a maximum: each example draws 1..n_queries query blocks
+  // so that every structural variant (including the single-query layout
+  // used at evaluation time) stays in-distribution during training.
+  const int n_queries =
+      1 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(cfg_.n_queries)));
+  ex.tokens.reserve(static_cast<std::size_t>(t_len));
+  ex.tokens.push_back(cfg_.bos());
+
+  // Draw the pair keys (slot order when fixed_slots, shuffled otherwise)
+  // and independently random values.
+  std::vector<int> keys(static_cast<std::size_t>(cfg_.n_keys));
+  for (int k = 0; k < cfg_.n_keys; ++k) keys[static_cast<std::size_t>(k)] = k;
+  if (!cfg_.fixed_slots) {
+    for (int k = 0; k < cfg_.n_pairs; ++k) {
+      const auto j = k + static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(cfg_.n_keys - k)));
+      std::swap(keys[static_cast<std::size_t>(k)], keys[static_cast<std::size_t>(j)]);
+    }
+  }
+  std::vector<int> vals(static_cast<std::size_t>(cfg_.n_pairs));
+  for (auto& v : vals) v = static_cast<int>(rng.uniform_index(cfg_.n_vals));
+
+  // Body: the key-value pairs (pair k occupies two adjacent positions),
+  // filler elsewhere.
+  const int query_tokens = 3 * (n_queries - 1) + 2;
+  const int body_len = t_len - 1 - query_tokens;
+  std::vector<int> body(static_cast<std::size_t>(body_len), -1);
+  const int slots = body_len / 2;
+  std::vector<int> slot_ids(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) slot_ids[static_cast<std::size_t>(s)] = s;
+  if (!cfg_.fixed_slots) {
+    for (int k = 0; k < cfg_.n_pairs; ++k) {
+      const auto j = k + static_cast<int>(
+                             rng.uniform_index(static_cast<std::uint64_t>(slots - k)));
+      std::swap(slot_ids[static_cast<std::size_t>(k)],
+                slot_ids[static_cast<std::size_t>(j)]);
+    }
+    std::sort(slot_ids.begin(), slot_ids.begin() + cfg_.n_pairs);
+  }
+  for (int k = 0; k < cfg_.n_pairs; ++k) {
+    const int pos = 2 * slot_ids[static_cast<std::size_t>(k)];
+    body[static_cast<std::size_t>(pos)] =
+        cfg_.key_id(keys[static_cast<std::size_t>(k)]);
+    body[static_cast<std::size_t>(pos) + 1] =
+        cfg_.val_id(vals[static_cast<std::size_t>(k)]);
+  }
+  for (auto& t : body) {
+    if (t < 0) t = cfg_.filler_id(static_cast<int>(rng.uniform_index(cfg_.n_filler)));
+  }
+  for (int t : body) ex.tokens.push_back(t);
+
+  // Targets: optional auxiliary next-token loss, then the query blocks.
+  ex.targets.assign(static_cast<std::size_t>(t_len), -1);
+  ex.weights.assign(static_cast<std::size_t>(t_len), 0.0f);
+  if (cfg_.aux_weight > 0.0f) {
+    for (std::size_t t = 0; t + 1 < ex.tokens.size(); ++t) {
+      ex.targets[t] = ex.tokens[t + 1];
+      ex.weights[t] = cfg_.aux_weight;
+    }
+  }
+  // Query blocks: [Q k v] x (n_queries - 1) then the scored [Q k].
+  // Each key position (the token right after Q) is supervised with the
+  // bound value at full weight.
+  for (int q = 0; q < n_queries; ++q) {
+    const int pick = static_cast<int>(rng.uniform_index(cfg_.n_pairs));
+    const int key_tok = cfg_.key_id(keys[static_cast<std::size_t>(pick)]);
+    const int val_tok = cfg_.val_id(vals[static_cast<std::size_t>(pick)]);
+    ex.tokens.push_back(cfg_.query());
+    ex.tokens.push_back(key_tok);
+    const std::size_t key_pos = ex.tokens.size() - 1;
+    ex.targets[key_pos] = val_tok;
+    ex.weights[key_pos] = 1.0f;
+    if (q + 1 < n_queries) {
+      ex.tokens.push_back(val_tok);
+    } else {
+      ex.answer = val_tok;
+    }
+  }
+  if (static_cast<int>(ex.tokens.size()) != t_len) {
+    throw std::logic_error("SynthLambada: internal length mismatch");
+  }
+  return ex;
+}
+
+std::vector<std::vector<int>> SynthLambada::calibration_set(int n) const {
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(make_example("calib", static_cast<std::uint64_t>(i)).tokens);
+  }
+  return out;
+}
+
+}  // namespace nora::eval

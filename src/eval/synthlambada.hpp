@@ -1,0 +1,80 @@
+// SynthLambada — the synthetic stand-in for the Lambada last-word task.
+//
+// Lambada [Paperno'16] scores a model on predicting the final word of a
+// passage, where the answer requires broad context. SynthLambada keeps
+// that structure with a fully synthetic generator: each sequence
+// establishes `n_pairs` random key->value token bindings early in the
+// context, pads with filler, and ends with a QUERY marker plus one of
+// the seen keys; the model must emit that key's bound value as the next
+// token. Top-1 accuracy on the final position is the task metric, same
+// 0..100% scale as the paper's Lambada accuracy.
+//
+// Sequences are generated deterministically from (split seed, index), so
+// the train / calibration ("Pile"-stand-in) / test splits are disjoint,
+// reproducible, and never stored on disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nora::eval {
+
+struct Example {
+  std::vector<int> tokens;     // full input sequence
+  std::vector<int> targets;    // per-position target id or -1
+  std::vector<float> weights;  // per-position loss weight
+  int answer = -1;             // target of the final position
+};
+
+struct SynthLambadaConfig {
+  int n_keys = 24;
+  int n_vals = 24;
+  int n_filler = 40;
+  int seq_len = 32;
+  int n_pairs = 3;
+  /// Fixed-slot layout: pair k occupies positions (1+2k, 2+2k) right
+  /// after BOS, with pair keys in slot order — retrieval is a one-hop
+  /// content-to-position attention, which small models learn reliably.
+  /// When false, pairs use random keys at random body positions
+  /// (classic associative recall — requires a two-layer induction
+  /// circuit and trains far more slowly; kept for ablations).
+  bool fixed_slots = true;
+  /// Query blocks at the end of the sequence: [Q k v] x (n_queries-1)
+  /// then [Q k]. Evaluation always scores the final position only;
+  /// training sequences use n_queries > 1 for denser supervision.
+  int n_queries = 1;
+  /// Auxiliary next-token loss weight on non-answer positions; the
+  /// answer positions always have weight 1.
+  float aux_weight = 0.0f;
+  std::uint64_t seed = 777;
+
+  int vocab_size() const { return 2 + n_keys + n_vals + n_filler; }
+  int bos() const { return 0; }
+  int query() const { return 1; }
+  int key_id(int k) const { return 2 + k; }
+  int val_id(int v) const { return 2 + n_keys + v; }
+  int filler_id(int f) const { return 2 + n_keys + n_vals + f; }
+};
+
+class SynthLambada {
+ public:
+  explicit SynthLambada(SynthLambadaConfig cfg = {});
+
+  const SynthLambadaConfig& config() const { return cfg_; }
+
+  /// Deterministic example `index` of the named split
+  /// ("train" / "calib" / "test").
+  Example make_example(const std::string& split, std::uint64_t index) const;
+
+  /// Token matrix of the first n calibration sequences (for the NORA
+  /// activation-range calibration pass).
+  std::vector<std::vector<int>> calibration_set(int n) const;
+
+ private:
+  SynthLambadaConfig cfg_;
+};
+
+}  // namespace nora::eval

@@ -1,0 +1,147 @@
+#include "model/families.hpp"
+
+#include <stdexcept>
+
+namespace nora::model {
+
+std::vector<float> planted_gains(std::int64_t d_model, const OutlierSpec& spec) {
+  std::vector<float> gains(static_cast<std::size_t>(d_model), 1.0f);
+  if (spec.fraction <= 0.0f) return gains;
+  util::Rng rng(util::derive_seed(spec.seed, "outlier-channels"));
+  const int n_outlier = std::max(
+      1, static_cast<int>(static_cast<float>(d_model) * spec.fraction));
+  // Choose distinct channels.
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(d_model));
+  for (std::int64_t i = 0; i < d_model; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (int k = 0; k < n_outlier; ++k) {
+    const auto j = k + static_cast<std::int64_t>(rng.uniform_index(
+                           static_cast<std::uint64_t>(d_model - k)));
+    std::swap(idx[static_cast<std::size_t>(k)], idx[static_cast<std::size_t>(j)]);
+    gains[static_cast<std::size_t>(idx[static_cast<std::size_t>(k)])] =
+        static_cast<float>(rng.uniform(spec.amp_lo, spec.amp_hi));
+  }
+  return gains;
+}
+
+void compensate_planted_gains(nn::TransformerLM& model) {
+  const auto& gain = model.config().norm_gain;
+  if (gain.empty()) return;
+  auto divide_rows = [&gain](nn::Linear& lin) {
+    Matrix& w = lin.weight().value;
+    for (std::int64_t k = 0; k < w.rows(); ++k) {
+      auto row = w.row(k);
+      const float g = gain[static_cast<std::size_t>(k)];
+      for (auto& v : row) v /= g;
+    }
+  };
+  for (auto& block : model.blocks()) {
+    divide_rows(block.attention().qkv());
+    divide_rows(block.mlp().up());
+    if (auto* gate = block.mlp().gate()) divide_rows(*gate);
+  }
+}
+
+namespace {
+
+eval::SynthLambadaConfig default_task() {
+  eval::SynthLambadaConfig t;
+  t.n_keys = 24;
+  t.n_vals = 24;
+  t.n_filler = 40;   // vocab = 2 + 24 + 24 + 40 = 90
+  t.seq_len = 32;
+  t.n_pairs = 3;
+  t.seed = 777;
+  return t;
+}
+
+train::TrainConfig default_train(std::uint64_t seed, double target_acc) {
+  train::TrainConfig tc;
+  tc.steps = 6000;
+  tc.batch_size = 16;
+  tc.adam.lr = 2e-3f;
+  // Stop once validation accuracy reaches the target. Targets mirror the
+  // paper's digital-full-precision Lambada accuracies (75-89%), so the
+  // models sit at a realistic, non-saturated operating point where noise
+  // sensitivity is graded instead of cliff-like.
+  tc.eval_every = 25;
+  tc.eval_examples = 128;
+  tc.target_accuracy = target_acc;
+  tc.seed = seed;
+  return tc;
+}
+
+ModelSpec make_opt(const std::string& name, std::int64_t d, std::int64_t layers,
+                   float amp_lo, float amp_hi, std::uint64_t seed,
+                   double target_acc) {
+  ModelSpec s;
+  s.name = name;
+  s.arch.d_model = d;
+  s.arch.n_layers = layers;
+  s.arch.n_heads = 4;
+  s.arch.d_ff = 4 * d;
+  s.arch.norm_kind = nn::NormKind::kLayerNorm;
+  s.arch.mlp_kind = nn::MlpKind::kGelu;
+  s.arch.seed = seed;
+  s.outliers = OutlierSpec{0.08f, amp_lo, amp_hi, seed};
+  s.task = default_task();
+  s.arch.vocab_size = s.task.vocab_size();
+  s.arch.max_seq = s.task.seq_len;
+  s.train = default_train(seed, target_acc);
+  return s;
+}
+
+ModelSpec make_gated(const std::string& name, std::int64_t d, std::int64_t layers,
+                     float frac, float amp_lo, float amp_hi, std::uint64_t seed,
+                     double target_acc) {
+  ModelSpec s;
+  s.name = name;
+  s.arch.d_model = d;
+  s.arch.n_layers = layers;
+  s.arch.n_heads = 4;
+  s.arch.d_ff = 3 * d;  // gated MLPs use a narrower hidden dim
+  s.arch.norm_kind = nn::NormKind::kRmsNorm;
+  s.arch.mlp_kind = nn::MlpKind::kSiluGated;
+  s.arch.seed = seed;
+  s.outliers = OutlierSpec{frac, amp_lo, amp_hi, seed};
+  s.task = default_task();
+  s.arch.vocab_size = s.task.vocab_size();
+  s.arch.max_seq = s.task.seq_len;
+  s.train = default_train(seed, target_acc);
+  return s;
+}
+
+}  // namespace
+
+ModelSpec spec_by_name(const std::string& name) {
+  // Early-stop targets mirror the paper's digital fp32 Lambada
+  // accuracies: Fig. 5a for OPT, Table III for LLaMA/Mistral.
+  // OPT-like family: LayerNorm + GELU, many strong outlier channels.
+  if (name == "opt-1.3b-sim") return make_opt(name, 64, 2, 22.0f, 38.0f, 101, 0.76);
+  if (name == "opt-2.7b-sim") return make_opt(name, 72, 2, 30.0f, 55.0f, 102, 0.78);
+  if (name == "opt-6.7b-sim") return make_opt(name, 88, 3, 22.0f, 38.0f, 103, 0.80);
+  if (name == "opt-13b-sim") return make_opt(name, 104, 3, 20.0f, 34.0f, 104, 0.81);
+  // LLaMA/Mistral-like family: RMSNorm + SiLU-gated, few outliers.
+  if (name == "llama2-7b-sim")
+    return make_gated(name, 96, 3, 0.04f, 16.0f, 26.0f, 201, 0.89);
+  if (name == "llama3-8b-sim")
+    return make_gated(name, 96, 3, 0.04f, 14.0f, 22.0f, 202, 0.83);
+  if (name == "mistral-7b-sim")
+    return make_gated(name, 96, 3, 0.03f, 20.0f, 34.0f, 203, 0.87);
+  throw std::invalid_argument("spec_by_name: unknown model '" + name + "'");
+}
+
+std::vector<std::string> opt_family() {
+  return {"opt-1.3b-sim", "opt-2.7b-sim", "opt-6.7b-sim", "opt-13b-sim"};
+}
+
+std::vector<std::string> other_family() {
+  return {"llama2-7b-sim", "llama3-8b-sim", "mistral-7b-sim"};
+}
+
+std::vector<std::string> all_models() {
+  auto v = opt_family();
+  for (auto& n : other_family()) v.push_back(n);
+  return v;
+}
+
+}  // namespace nora::model

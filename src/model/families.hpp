@@ -1,0 +1,67 @@
+// The synthetic model zoo: scaled-down stand-ins for the seven LLMs the
+// paper evaluates (OPT 1.3b/2.7b/6.7b/13b, LLaMA-2-7B, LLaMA-3-8B,
+// Mistral-7B-v1.0).
+//
+// What is preserved from each real family is its *distributional
+// character*, which is what analog CIM non-idealities act on:
+//   - OPT-like: LayerNorm + GELU MLP, many strongly amplified outlier
+//     channels -> very high activation kurtosis, most
+//     quantization-sensitive (paper Fig. 3a/b).
+//   - LLaMA-like: RMSNorm + SiLU-gated MLP, few moderate outlier
+//     channels -> robust-ish to A/D quantization.
+//   - Mistral-like: RMSNorm + SiLU-gated MLP, few but extreme outlier
+//     channels (paper Fig. 4 reports activation kurtosis 113.6).
+// Outliers are planted as fixed per-channel norm gains; training learns
+// around them digitally, exactly like real LLMs learn around their
+// emergent outlier channels.
+//
+// Parameter counts are ~0.1-1 M (single-CPU budget); relative size
+// ordering within the OPT family is preserved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/synthlambada.hpp"
+#include "nn/transformer.hpp"
+#include "train/trainer.hpp"
+
+namespace nora::model {
+
+struct OutlierSpec {
+  float fraction = 0.0f;  // fraction of channels amplified
+  float amp_lo = 1.0f;    // amplification factor range
+  float amp_hi = 1.0f;
+  std::uint64_t seed = 99;
+};
+
+struct ModelSpec {
+  std::string name;
+  nn::TransformerConfig arch;  // norm_gain left empty; planted by build time
+  OutlierSpec outliers;
+  eval::SynthLambadaConfig task;
+  train::TrainConfig train;
+};
+
+/// Build the planted norm-gain vector for a spec.
+std::vector<float> planted_gains(std::int64_t d_model, const OutlierSpec& spec);
+
+/// Rescale the init of every linear layer that consumes norm outputs
+/// (QKV, MLP up/gate) by 1/gain per input channel. At initialization the
+/// network then behaves as if unplanted — training proceeds normally —
+/// while its *activations* keep the outlier channels. This mirrors real
+/// LLMs, whose weights on outlier channels are correspondingly small
+/// (the asymmetry SmoothQuant-style rescaling exploits).
+void compensate_planted_gains(nn::TransformerLM& model);
+
+/// Look up a spec by name; throws std::invalid_argument for unknown names.
+ModelSpec spec_by_name(const std::string& name);
+
+/// The OPT-like family, smallest to largest (paper Fig. 5a order).
+std::vector<std::string> opt_family();
+/// The LLaMA/Mistral-like family (paper Table III order).
+std::vector<std::string> other_family();
+/// Everything (Fig. 3 order).
+std::vector<std::string> all_models();
+
+}  // namespace nora::model

@@ -1,0 +1,28 @@
+// Train-once, cache-on-disk model zoo.
+//
+// get_or_train() plays the role of HuggingFace's from_pretrained(): the
+// first request for a model trains it on SynthLambada and stores the
+// checkpoint under util::model_cache_dir(); later requests (including
+// from other bench binaries) load the cached weights. Benches therefore
+// always see the *same* frozen "pretrained" model.
+#pragma once
+
+#include <memory>
+
+#include "model/families.hpp"
+#include "nn/transformer.hpp"
+
+namespace nora::model {
+
+/// Path the spec's checkpoint is cached at.
+std::string checkpoint_path(const ModelSpec& spec);
+
+/// Load from cache, or train from scratch and cache.
+std::unique_ptr<nn::TransformerLM> get_or_train(const ModelSpec& spec,
+                                                bool verbose = true);
+
+/// Convenience: by name.
+std::unique_ptr<nn::TransformerLM> get_or_train(const std::string& name,
+                                                bool verbose = true);
+
+}  // namespace nora::model

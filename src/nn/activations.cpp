@@ -1,0 +1,35 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace nora::nn {
+
+namespace {
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCubic = 0.044715f;
+}  // namespace
+
+float gelu(float x) {
+  // tanh approximation (Hendrycks & Gimpel), matching common LLM stacks.
+  const float u = kSqrt2OverPi * (x + kGeluCubic * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
+
+float gelu_grad(float x) {
+  const float u = kSqrt2OverPi * (x + kGeluCubic * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kSqrt2OverPi * (1.0f + 3.0f * kGeluCubic * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+float silu(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return x * s;
+}
+
+float silu_grad(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return s + x * s * (1.0f - s);
+}
+
+}  // namespace nora::nn

@@ -1,0 +1,14 @@
+// Scalar activation functions and their derivatives (used by the MLP
+// blocks: GELU for the OPT-like family, SiLU for the gated
+// LLaMA/Mistral-like family).
+#pragma once
+
+namespace nora::nn {
+
+float gelu(float x);
+float gelu_grad(float x);
+
+float silu(float x);
+float silu_grad(float x);
+
+}  // namespace nora::nn

@@ -1,0 +1,193 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::nn {
+
+CausalSelfAttention::CausalSelfAttention(const std::string& name,
+                                         std::int64_t d_model,
+                                         std::int64_t n_heads,
+                                         std::int64_t max_seq, util::Rng& rng,
+                                         float init_std)
+    : d_model_(d_model),
+      n_heads_(n_heads),
+      d_head_(d_model / n_heads),
+      qkv_(name + ".qkv", d_model, 3 * d_model, rng, init_std),
+      out_proj_(name + ".out", d_model, d_model, rng, init_std),
+      rel_bias_(name + ".rel_bias", Matrix(n_heads, max_seq)) {
+  if (d_model % n_heads != 0) {
+    throw std::invalid_argument("attention: d_model must be divisible by heads");
+  }
+}
+
+Matrix CausalSelfAttention::forward(const Matrix& x, bool training) {
+  const std::int64_t t_len = x.rows();
+  Matrix qkv = qkv_.forward(x, training);  // [T x 3d]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Matrix concat(t_len, d_model_);
+  if (training) probs_cache_.assign(static_cast<std::size_t>(n_heads_), Matrix());
+  for (std::int64_t h = 0; h < n_heads_; ++h) {
+    const std::int64_t q_off = h * d_head_;
+    const std::int64_t k_off = d_model_ + h * d_head_;
+    const std::int64_t v_off = 2 * d_model_ + h * d_head_;
+    // Causal softmax(Q K^T / sqrt(dh) + b[i-j]) V, row-wise softmax.
+    const auto bias = rel_bias_.value.row(h);
+    Matrix probs(t_len, t_len);
+    for (std::int64_t i = 0; i < t_len; ++i) {
+      const auto qi = qkv.row(i);
+      auto pi = probs.row(i);
+      float row_max = -1e30f;
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const auto kj = qkv.row(j);
+        float s = 0.0f;
+        for (std::int64_t c = 0; c < d_head_; ++c) s += qi[q_off + c] * kj[k_off + c];
+        s = s * scale + bias[i - j];
+        pi[j] = s;
+        row_max = std::max(row_max, s);
+      }
+      float denom = 0.0f;
+      for (std::int64_t j = 0; j <= i; ++j) {
+        pi[j] = std::exp(pi[j] - row_max);
+        denom += pi[j];
+      }
+      const float inv = 1.0f / denom;
+      for (std::int64_t j = 0; j <= i; ++j) pi[j] *= inv;
+      auto oi = concat.row(i);
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const float p = pi[j];
+        const auto vj = qkv.row(j);
+        for (std::int64_t c = 0; c < d_head_; ++c) oi[q_off + c] += p * vj[v_off + c];
+      }
+    }
+    if (training) probs_cache_[static_cast<std::size_t>(h)] = std::move(probs);
+  }
+  if (training) qkv_cache_ = qkv;
+  return out_proj_.forward(concat, training);
+}
+
+Matrix CausalSelfAttention::forward_cached(const Matrix& x,
+                                           KvCache::BlockCache& cache,
+                                           std::int64_t pos0) {
+  const std::int64_t t_new = x.rows();
+  const Matrix qkv = qkv_.forward(x, /*training=*/false);
+  if (cache.k.rows() != pos0 || (pos0 > 0 && cache.k.cols() != d_model_)) {
+    throw std::invalid_argument("attention forward_cached: cache out of sync");
+  }
+  // Append the new keys/values.
+  Matrix k_all(pos0 + t_new, d_model_);
+  Matrix v_all(pos0 + t_new, d_model_);
+  if (pos0 > 0) {
+    std::copy(cache.k.data(), cache.k.data() + cache.k.size(), k_all.data());
+    std::copy(cache.v.data(), cache.v.data() + cache.v.size(), v_all.data());
+  }
+  for (std::int64_t t = 0; t < t_new; ++t) {
+    const auto row = qkv.row(t);
+    auto kr = k_all.row(pos0 + t);
+    auto vr = v_all.row(pos0 + t);
+    for (std::int64_t c = 0; c < d_model_; ++c) {
+      kr[c] = row[d_model_ + c];
+      vr[c] = row[2 * d_model_ + c];
+    }
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Matrix concat(t_new, d_model_);
+  std::vector<float> probs;
+  for (std::int64_t h = 0; h < n_heads_; ++h) {
+    const std::int64_t off = h * d_head_;
+    const auto bias = rel_bias_.value.row(h);
+    for (std::int64_t i = 0; i < t_new; ++i) {
+      const std::int64_t gi = pos0 + i;  // global position
+      const auto qi = qkv.row(i);
+      probs.assign(static_cast<std::size_t>(gi) + 1, 0.0f);
+      float row_max = -1e30f;
+      for (std::int64_t j = 0; j <= gi; ++j) {
+        const auto kj = k_all.row(j);
+        float s = 0.0f;
+        for (std::int64_t c = 0; c < d_head_; ++c) s += qi[off + c] * kj[off + c];
+        s = s * scale + bias[gi - j];
+        probs[static_cast<std::size_t>(j)] = s;
+        row_max = std::max(row_max, s);
+      }
+      float denom = 0.0f;
+      for (auto& p : probs) {
+        p = std::exp(p - row_max);
+        denom += p;
+      }
+      const float inv = 1.0f / denom;
+      auto oi = concat.row(i);
+      for (std::int64_t j = 0; j <= gi; ++j) {
+        const float p = probs[static_cast<std::size_t>(j)] * inv;
+        const auto vj = v_all.row(j);
+        for (std::int64_t c = 0; c < d_head_; ++c) oi[off + c] += p * vj[off + c];
+      }
+    }
+  }
+  cache.k = std::move(k_all);
+  cache.v = std::move(v_all);
+  return out_proj_.forward(concat, /*training=*/false);
+}
+
+Matrix CausalSelfAttention::backward(const Matrix& dy) {
+  const std::int64_t t_len = dy.rows();
+  if (qkv_cache_.rows() != t_len) {
+    throw std::logic_error("attention backward: no matching forward cache");
+  }
+  Matrix dconcat = out_proj_.backward(dy);  // [T x d]
+  Matrix dqkv(t_len, 3 * d_model_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  for (std::int64_t h = 0; h < n_heads_; ++h) {
+    const std::int64_t q_off = h * d_head_;
+    const std::int64_t k_off = d_model_ + h * d_head_;
+    const std::int64_t v_off = 2 * d_model_ + h * d_head_;
+    const Matrix& probs = probs_cache_[static_cast<std::size_t>(h)];
+    for (std::int64_t i = 0; i < t_len; ++i) {
+      const auto doi = dconcat.row(i);
+      const auto pi = probs.row(i);
+      // dP_ij = dO_i . V_j ; dV_j += P_ij dO_i
+      std::vector<float> dp(static_cast<std::size_t>(i) + 1, 0.0f);
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const auto vj = qkv_cache_.row(j);
+        auto dvj = dqkv.row(j);
+        float acc = 0.0f;
+        const float p = pi[j];
+        for (std::int64_t c = 0; c < d_head_; ++c) {
+          acc += doi[q_off + c] * vj[v_off + c];
+          dvj[v_off + c] += p * doi[q_off + c];
+        }
+        dp[static_cast<std::size_t>(j)] = acc;
+      }
+      // Softmax backward: dS_ij = P_ij (dP_ij - sum_k P_ik dP_ik).
+      float dot = 0.0f;
+      for (std::int64_t j = 0; j <= i; ++j) dot += pi[j] * dp[static_cast<std::size_t>(j)];
+      const auto qi = qkv_cache_.row(i);
+      auto dqi = dqkv.row(i);
+      auto dbias = rel_bias_.grad.row(h);
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const float dscore = pi[j] * (dp[static_cast<std::size_t>(j)] - dot);
+        dbias[i - j] += dscore;
+        const float ds = dscore * scale;
+        const auto kj = qkv_cache_.row(j);
+        auto dkj = dqkv.row(j);
+        for (std::int64_t c = 0; c < d_head_; ++c) {
+          dqi[q_off + c] += ds * kj[k_off + c];
+          dkj[k_off + c] += ds * qi[q_off + c];
+        }
+      }
+    }
+  }
+  return qkv_.backward(dqkv);
+}
+
+void CausalSelfAttention::collect_params(ParamRefs& out) {
+  qkv_.collect_params(out);
+  out_proj_.collect_params(out);
+  out.push_back(&rel_bias_);
+}
+
+void CausalSelfAttention::collect_linears(std::vector<Linear*>& out) {
+  out.push_back(&qkv_);
+  out.push_back(&out_proj_);
+}
+
+}  // namespace nora::nn

@@ -1,0 +1,59 @@
+// Causal multi-head self-attention.
+//
+// Per the paper's deployment split (Fig. 2b), the QKV and output
+// projections are nn::Linear (analog-mappable), while the softmax
+// attention itself always runs digitally at full precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/kv_cache.hpp"
+#include "nn/linear.hpp"
+#include "nn/param.hpp"
+#include "tensor/matrix.hpp"
+
+namespace nora::nn {
+
+class CausalSelfAttention {
+ public:
+  /// max_seq bounds the learned relative-position bias table: scores get
+  /// a per-head additive bias b_h[i-j], which lets offset-based heads
+  /// (e.g. the "previous token" head of induction circuits) form from a
+  /// single parameter instead of per-position-pair statistics.
+  CausalSelfAttention(const std::string& name, std::int64_t d_model,
+                      std::int64_t n_heads, std::int64_t max_seq,
+                      util::Rng& rng, float init_std);
+
+  std::int64_t d_model() const { return d_model_; }
+  std::int64_t n_heads() const { return n_heads_; }
+
+  /// x: [T x d_model] (one sequence) -> [T x d_model].
+  Matrix forward(const Matrix& x, bool training = false);
+  Matrix backward(const Matrix& dy);
+
+  /// Incremental forward: process new rows x (positions pos0..pos0+T-1),
+  /// attending over `cache` plus the new rows, and append the new
+  /// keys/values to the cache. Bit-identical to forward() over the
+  /// concatenated sequence. Inference only.
+  Matrix forward_cached(const Matrix& x, KvCache::BlockCache& cache,
+                        std::int64_t pos0);
+
+  Linear& qkv() { return qkv_; }
+  Linear& out_proj() { return out_proj_; }
+  void collect_params(ParamRefs& out);
+  void collect_linears(std::vector<Linear*>& out);
+
+ private:
+  std::int64_t d_model_ = 0;
+  std::int64_t n_heads_ = 0;
+  std::int64_t d_head_ = 0;
+  Linear qkv_;       // [d, 3d]
+  Linear out_proj_;  // [d, d]
+  Param rel_bias_;   // [heads x max_seq]: score(i,j) += rel_bias[h][i-j]
+  // Backward caches (one sequence at a time).
+  Matrix qkv_cache_;                 // [T x 3d]
+  std::vector<Matrix> probs_cache_;  // per head: [T x T] softmax rows
+};
+
+}  // namespace nora::nn

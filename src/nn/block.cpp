@@ -1,0 +1,52 @@
+#include "nn/block.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace nora::nn {
+
+TransformerBlock::TransformerBlock(const std::string& name, NormKind norm_kind,
+                                   MlpKind mlp_kind, std::int64_t d_model,
+                                   std::int64_t n_heads, std::int64_t d_ff,
+                                   std::int64_t max_seq,
+                                   std::vector<float> norm_gain, util::Rng& rng,
+                                   float init_std)
+    : norm1_(name + ".norm1", norm_kind, d_model, norm_gain),
+      attn_(name + ".attn", d_model, n_heads, max_seq, rng, init_std),
+      norm2_(name + ".norm2", norm_kind, d_model, std::move(norm_gain)),
+      mlp_(name + ".mlp", mlp_kind, d_model, d_ff, rng, init_std) {}
+
+Matrix TransformerBlock::forward(const Matrix& x, bool training) {
+  Matrix h = ops::add(x, attn_.forward(norm1_.forward(x, training), training));
+  return ops::add(h, mlp_.forward(norm2_.forward(h, training), training));
+}
+
+Matrix TransformerBlock::forward_cached(const Matrix& x,
+                                        KvCache::BlockCache& cache,
+                                        std::int64_t pos0) {
+  Matrix h = ops::add(x, attn_.forward_cached(norm1_.forward(x), cache, pos0));
+  return ops::add(h, mlp_.forward(norm2_.forward(h)));
+}
+
+Matrix TransformerBlock::backward(const Matrix& dy) {
+  // Through the MLP residual branch.
+  Matrix dh = norm2_.backward(mlp_.backward(dy));
+  ops::add_inplace(dh, dy);
+  // Through the attention residual branch.
+  Matrix dx = norm1_.backward(attn_.backward(dh));
+  ops::add_inplace(dx, dh);
+  return dx;
+}
+
+void TransformerBlock::collect_params(ParamRefs& out) {
+  norm1_.collect_params(out);
+  attn_.collect_params(out);
+  norm2_.collect_params(out);
+  mlp_.collect_params(out);
+}
+
+void TransformerBlock::collect_linears(std::vector<Linear*>& out) {
+  attn_.collect_linears(out);
+  mlp_.collect_linears(out);
+}
+
+}  // namespace nora::nn

@@ -1,0 +1,42 @@
+// Pre-LN transformer decoder block:
+//   x = x + Attn(Norm1(x));  x = x + Mlp(Norm2(x))
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "nn/mlp.hpp"
+#include "nn/norm.hpp"
+
+namespace nora::nn {
+
+class TransformerBlock {
+ public:
+  TransformerBlock(const std::string& name, NormKind norm_kind, MlpKind mlp_kind,
+                   std::int64_t d_model, std::int64_t n_heads, std::int64_t d_ff,
+                   std::int64_t max_seq, std::vector<float> norm_gain,
+                   util::Rng& rng, float init_std);
+
+  Matrix forward(const Matrix& x, bool training = false);
+  Matrix backward(const Matrix& dy);
+  /// KV-cached incremental forward (inference only).
+  Matrix forward_cached(const Matrix& x, KvCache::BlockCache& cache,
+                        std::int64_t pos0);
+
+  Norm& norm1() { return norm1_; }
+  Norm& norm2() { return norm2_; }
+  CausalSelfAttention& attention() { return attn_; }
+  Mlp& mlp() { return mlp_; }
+
+  void collect_params(ParamRefs& out);
+  void collect_linears(std::vector<Linear*>& out);
+
+ private:
+  Norm norm1_;
+  CausalSelfAttention attn_;
+  Norm norm2_;
+  Mlp mlp_;
+};
+
+}  // namespace nora::nn

@@ -1,0 +1,32 @@
+// KV-cached incremental decoding.
+//
+// Autoregressive generation re-uses the attention keys/values of past
+// positions instead of re-running the whole prefix — the standard LLM
+// serving optimization. The cached path must be numerically identical
+// to the full-context forward (unit-tested), on digital and analog
+// backends alike; on analog tiles it also models the realistic serving
+// pattern where each generated token makes one pass through the tiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace nora::nn {
+
+struct KvCache {
+  struct BlockCache {
+    Matrix k;  // [t_past x d_model], concatenated per-head keys
+    Matrix v;  // [t_past x d_model]
+  };
+  std::vector<BlockCache> blocks;
+  std::int64_t length = 0;
+
+  void clear() {
+    blocks.clear();
+    length = 0;
+  }
+};
+
+}  // namespace nora::nn

@@ -1,0 +1,115 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "quant/int8_linear.hpp"
+#include "tensor/ops.hpp"
+
+namespace nora::nn {
+
+Linear::Linear(std::string name, std::int64_t in_dim, std::int64_t out_dim,
+               util::Rng& rng, float init_std)
+    : name_(std::move(name)) {
+  Matrix w(in_dim, out_dim);
+  w.fill_gaussian(rng, init_std);
+  w_ = Param(name_ + ".w", std::move(w));
+  b_ = Param(name_ + ".b", Matrix(1, out_dim));
+  input_abs_max_.assign(static_cast<std::size_t>(in_dim), 0.0f);
+}
+
+Matrix Linear::forward(const Matrix& x, bool training) {
+  if (x.cols() != in_dim()) {
+    throw std::invalid_argument("Linear::forward: input dim mismatch (" + name_ + ")");
+  }
+  if (capture_input_) {
+    for (std::int64_t t = 0; t < x.rows(); ++t) {
+      const auto row = x.row(t);
+      for (std::int64_t c = 0; c < x.cols(); ++c) {
+        auto& m = input_abs_max_[static_cast<std::size_t>(c)];
+        m = std::max(m, std::fabs(row[c]));
+      }
+    }
+  }
+  if (capture_full_) {
+    Matrix grown(captured_inputs_.rows() + x.rows(), in_dim());
+    std::copy(captured_inputs_.data(),
+              captured_inputs_.data() + captured_inputs_.size(), grown.data());
+    std::copy(x.data(), x.data() + x.size(),
+              grown.data() + captured_inputs_.size());
+    captured_inputs_ = std::move(grown);
+  }
+  Matrix y = analog_ ? analog_->forward(x)
+             : int8_ ? quant::int8_linear(x, w_.value, int8_s_, nullptr,
+                                          int8_static_scale_)
+                     : ops::matmul(x, w_.value);
+  ops::add_row_vector(y, b_.value.row(0));
+  if (training) {
+    if (analog_ || int8_) {
+      throw std::logic_error("Linear: cannot train through a quantized backend");
+    }
+    x_cache_ = x;
+  }
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& dy) {
+  if (analog_ || int8_) {
+    throw std::logic_error("Linear::backward: quantized backend");
+  }
+  if (x_cache_.rows() != dy.rows()) {
+    throw std::logic_error("Linear::backward: no matching forward cache");
+  }
+  // dW += X^T dY ; db += column sums of dY ; dX = dY W^T.
+  ops::matmul_acc(x_cache_.transposed(), dy, w_.grad);
+  auto db = b_.grad.row(0);
+  for (std::int64_t t = 0; t < dy.rows(); ++t) {
+    const auto row = dy.row(t);
+    for (std::int64_t c = 0; c < dy.cols(); ++c) db[c] += row[c];
+  }
+  return ops::matmul_bt(dy, w_.value);
+}
+
+void Linear::to_analog(const cim::TileConfig& cfg, std::vector<float> s,
+                       std::uint64_t seed) {
+  int8_ = false;
+  analog_ = std::make_unique<cim::AnalogMatmul>(w_.value, std::move(s), cfg, seed);
+}
+
+void Linear::to_int8(std::vector<float> s, float static_act_scale) {
+  if (!s.empty() && static_cast<std::int64_t>(s.size()) != in_dim()) {
+    throw std::invalid_argument("Linear::to_int8: s length mismatch");
+  }
+  analog_.reset();
+  int8_ = true;
+  int8_s_ = std::move(s);
+  int8_static_scale_ = static_act_scale;
+}
+
+void Linear::to_digital() {
+  analog_.reset();
+  int8_ = false;
+  int8_s_.clear();
+  int8_static_scale_ = 0.0f;
+}
+
+void Linear::set_capture_input(bool on) {
+  capture_input_ = on;
+  if (on) input_abs_max_.assign(static_cast<std::size_t>(in_dim()), 0.0f);
+}
+
+void Linear::set_capture_full(bool on) {
+  capture_full_ = on;
+  if (on) captured_inputs_ = Matrix(0, in_dim());
+}
+
+std::vector<float> Linear::weight_row_abs_max() const {
+  return ops::row_abs_max(w_.value);
+}
+
+void Linear::collect_params(ParamRefs& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+}  // namespace nora::nn

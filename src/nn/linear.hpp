@@ -1,0 +1,87 @@
+// Linear layer with a pluggable compute backend.
+//
+// This is the seam the whole paper turns on (its Fig. 2b): during
+// training and for the "digital full precision" baseline the layer is a
+// plain fp32 GEMM; for analog deployment it is re-targeted to a
+// cim::AnalogMatmul tile array (optionally with a NORA rescale vector),
+// while normalization / attention / activations stay digital.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cim/analog_matmul.hpp"
+#include "cim/tile_config.hpp"
+#include "nn/param.hpp"
+#include "tensor/matrix.hpp"
+
+namespace nora::nn {
+
+class Linear {
+ public:
+  /// Weights [in x out], bias [out]. Initialized N(0, init_std).
+  Linear(std::string name, std::int64_t in_dim, std::int64_t out_dim,
+         util::Rng& rng, float init_std);
+
+  const std::string& name() const { return name_; }
+  std::int64_t in_dim() const { return w_.value.rows(); }
+  std::int64_t out_dim() const { return w_.value.cols(); }
+  bool is_analog() const { return analog_ != nullptr; }
+
+  /// x: [T x in] -> [T x out]. training=true caches x for backward
+  /// (digital backend only).
+  Matrix forward(const Matrix& x, bool training = false);
+
+  /// Backprop; accumulates dW/db, returns dX. Digital backend only.
+  Matrix backward(const Matrix& dy);
+
+  /// Re-target to an analog tile array. `s` is the NORA rescale vector
+  /// (length in_dim) or empty for the naive mapping.
+  void to_analog(const cim::TileConfig& cfg, std::vector<float> s,
+                 std::uint64_t seed);
+  /// Re-target to the digital W8A8 INT8 backend; `s` is a SmoothQuant
+  /// rescale vector or empty. static_act_scale > 0 selects static
+  /// per-tensor activation quantization with that calibrated scale;
+  /// otherwise scales are per-token dynamic.
+  void to_int8(std::vector<float> s, float static_act_scale = 0.0f);
+  bool is_int8() const { return int8_; }
+  /// Back to the exact digital fp32 GEMM.
+  void to_digital();
+  cim::AnalogMatmul* analog() { return analog_.get(); }
+  const cim::AnalogMatmul* analog() const { return analog_.get(); }
+
+  // --- calibration hooks (used by the NORA calibration pass) ---
+  /// While enabled, digital forwards accumulate per-input-channel
+  /// max|x_k| into input_abs_max().
+  void set_capture_input(bool on);
+  std::span<const float> input_abs_max() const { return input_abs_max_; }
+  /// While enabled, digital forwards also append full input rows (for
+  /// distribution analytics: Fig. 4 KDE, Fig. 6 kurtosis).
+  void set_capture_full(bool on);
+  const Matrix& captured_inputs() const { return captured_inputs_; }
+  /// Per-input-channel max|w_k| (max over the row of W).
+  std::vector<float> weight_row_abs_max() const;
+
+  Param& weight() { return w_; }
+  const Param& weight() const { return w_; }
+  Param& bias() { return b_; }
+  void collect_params(ParamRefs& out);
+
+ private:
+  std::string name_;
+  Param w_;  // [in x out]
+  Param b_;  // [1 x out]
+  std::unique_ptr<cim::AnalogMatmul> analog_;
+  bool int8_ = false;
+  std::vector<float> int8_s_;
+  float int8_static_scale_ = 0.0f;
+  Matrix x_cache_;
+  bool capture_input_ = false;
+  bool capture_full_ = false;
+  std::vector<float> input_abs_max_;
+  Matrix captured_inputs_;
+};
+
+}  // namespace nora::nn

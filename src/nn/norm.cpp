@@ -1,0 +1,117 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::nn {
+
+Norm::Norm(std::string name, NormKind kind, std::int64_t dim,
+           std::vector<float> gain)
+    : name_(std::move(name)), kind_(kind), dim_(dim) {
+  if (gain.empty()) gain.assign(static_cast<std::size_t>(dim), 1.0f);
+  if (static_cast<std::int64_t>(gain.size()) != dim) {
+    throw std::invalid_argument("Norm: gain length mismatch");
+  }
+  Matrix g(1, dim, std::vector<float>(gain.begin(), gain.end()));
+  gain_ = Param(name_ + ".gain", std::move(g), /*train=*/false);
+  bias_ = Param(name_ + ".bias", Matrix(1, dim),
+                /*train=*/kind_ == NormKind::kLayerNorm);
+}
+
+Matrix Norm::forward(const Matrix& x, bool training) {
+  if (x.cols() != dim_) throw std::invalid_argument("Norm::forward: dim mismatch");
+  const std::int64_t t_count = x.rows();
+  Matrix y(t_count, dim_);
+  if (training) {
+    x_cache_ = x;
+    inv_std_cache_.assign(static_cast<std::size_t>(t_count), 0.0f);
+    mean_cache_.assign(static_cast<std::size_t>(t_count), 0.0f);
+  }
+  const auto g = gain_.value.row(0);
+  const auto b = bias_.value.row(0);
+  const float inv_d = 1.0f / static_cast<float>(dim_);
+  for (std::int64_t t = 0; t < t_count; ++t) {
+    const auto xr = x.row(t);
+    auto yr = y.row(t);
+    float mean = 0.0f;
+    if (kind_ == NormKind::kLayerNorm) {
+      for (float v : xr) mean += v;
+      mean *= inv_d;
+    }
+    float var = 0.0f;
+    for (float v : xr) {
+      const float d = v - mean;
+      var += d * d;
+    }
+    var *= inv_d;
+    const float inv_std = 1.0f / std::sqrt(var + kEps);
+    for (std::int64_t c = 0; c < dim_; ++c) {
+      yr[c] = (xr[c] - mean) * inv_std * g[c];
+      if (kind_ == NormKind::kLayerNorm) yr[c] += b[c];
+    }
+    if (training) {
+      inv_std_cache_[static_cast<std::size_t>(t)] = inv_std;
+      mean_cache_[static_cast<std::size_t>(t)] = mean;
+    }
+  }
+  return y;
+}
+
+Matrix Norm::backward(const Matrix& dy) {
+  if (x_cache_.rows() != dy.rows()) {
+    throw std::logic_error("Norm::backward: no matching forward cache");
+  }
+  const std::int64_t t_count = dy.rows();
+  Matrix dx(t_count, dim_);
+  const auto g = gain_.value.row(0);
+  auto dbias = bias_.grad.row(0);
+  const float inv_d = 1.0f / static_cast<float>(dim_);
+  for (std::int64_t t = 0; t < t_count; ++t) {
+    const auto xr = x_cache_.row(t);
+    const auto dyr = dy.row(t);
+    auto dxr = dx.row(t);
+    const float inv_std = inv_std_cache_[static_cast<std::size_t>(t)];
+    const float mean = mean_cache_[static_cast<std::size_t>(t)];
+    if (kind_ == NormKind::kLayerNorm) {
+      // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))
+      float sum_dxhat = 0.0f;
+      float sum_dxhat_xhat = 0.0f;
+      for (std::int64_t c = 0; c < dim_; ++c) {
+        const float xhat = (xr[c] - mean) * inv_std;
+        const float dxhat = dyr[c] * g[c];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+        dbias[c] += dyr[c];
+      }
+      sum_dxhat *= inv_d;
+      sum_dxhat_xhat *= inv_d;
+      for (std::int64_t c = 0; c < dim_; ++c) {
+        const float xhat = (xr[c] - mean) * inv_std;
+        const float dxhat = dyr[c] * g[c];
+        dxr[c] = inv_std * (dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+      }
+    } else {
+      // RMSNorm: dx = inv_std * (dxhat - xhat * mean(dxhat * xhat))
+      float sum_dxhat_xhat = 0.0f;
+      for (std::int64_t c = 0; c < dim_; ++c) {
+        const float xhat = xr[c] * inv_std;
+        const float dxhat = dyr[c] * g[c];
+        sum_dxhat_xhat += dxhat * xhat;
+      }
+      sum_dxhat_xhat *= inv_d;
+      for (std::int64_t c = 0; c < dim_; ++c) {
+        const float xhat = xr[c] * inv_std;
+        const float dxhat = dyr[c] * g[c];
+        dxr[c] = inv_std * (dxhat - xhat * sum_dxhat_xhat);
+      }
+    }
+  }
+  return dx;
+}
+
+void Norm::collect_params(ParamRefs& out) {
+  out.push_back(&gain_);
+  out.push_back(&bias_);
+}
+
+}  // namespace nora::nn

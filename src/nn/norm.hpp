@@ -1,0 +1,49 @@
+// LayerNorm (OPT-like family) and RMSNorm (LLaMA/Mistral-like family).
+//
+// The elementwise gain vector is deliberately *non-trainable* and can be
+// planted with per-channel outlier amplification. This is how the model
+// zoo reproduces the defining distributional property of real LLMs
+// (paper Fig. 4): a few channels of the residual stream are consistently
+// amplified, so the activations entering every linear layer have a
+// long-tail, high-kurtosis distribution while weights stay near-Gaussian.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "nn/param.hpp"
+
+namespace nora::nn {
+
+enum class NormKind { kLayerNorm, kRmsNorm };
+
+class Norm {
+ public:
+  /// gain: fixed per-channel scale (the outlier-planting hook);
+  /// pass an empty vector for all-ones. LayerNorm also has a trainable bias.
+  Norm(std::string name, NormKind kind, std::int64_t dim,
+       std::vector<float> gain = {});
+
+  NormKind kind() const { return kind_; }
+  std::int64_t dim() const { return dim_; }
+  std::span<const float> gain() const { return gain_.value.row(0); }
+
+  Matrix forward(const Matrix& x, bool training = false);
+  Matrix backward(const Matrix& dy);
+
+  void collect_params(ParamRefs& out);
+
+ private:
+  static constexpr float kEps = 1e-5f;
+  std::string name_;
+  NormKind kind_;
+  std::int64_t dim_ = 0;
+  Param gain_;  // [1 x dim], non-trainable
+  Param bias_;  // [1 x dim], trainable (LayerNorm only)
+  // Backward caches.
+  Matrix x_cache_;
+  std::vector<float> inv_std_cache_;  // per row
+  std::vector<float> mean_cache_;     // per row (LayerNorm)
+};
+
+}  // namespace nora::nn

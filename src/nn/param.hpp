@@ -1,0 +1,31 @@
+// A trainable parameter: value + gradient accumulator.
+//
+// Modules own their Params and expose them through collect_params() so
+// the optimizer and the checkpoint writer can walk the whole model
+// without knowing its structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace nora::nn {
+
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+  bool trainable = true;
+
+  Param() = default;
+  Param(std::string n, Matrix v, bool train = true)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()), trainable(train) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+using ParamRefs = std::vector<Param*>;
+
+}  // namespace nora::nn

@@ -1,0 +1,196 @@
+#include "nn/transformer.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace nora::nn {
+
+std::int64_t TransformerConfig::param_count() const {
+  const std::int64_t gate = mlp_kind == MlpKind::kSiluGated ? d_model * d_ff : 0;
+  const std::int64_t per_block = d_model * 3 * d_model + 3 * d_model   // qkv
+                                 + d_model * d_model + d_model         // out
+                                 + n_heads * max_seq                   // rel bias
+                                 + 2 * d_model * d_ff + gate + d_ff + d_model  // mlp
+                                 + 4 * d_model;                        // norms
+  return vocab_size * d_model + max_seq * d_model + n_layers * per_block +
+         2 * d_model + d_model * vocab_size + vocab_size;
+}
+
+namespace {
+util::Rng make_init_rng(const TransformerConfig& cfg) {
+  return util::Rng(util::derive_seed(cfg.seed, "init"));
+}
+}  // namespace
+
+TransformerLM::TransformerLM(TransformerConfig cfg)
+    : cfg_(std::move(cfg)),
+      final_norm_("final_norm", cfg_.norm_kind, cfg_.d_model),
+      lm_head_([&] {
+        util::Rng rng(util::derive_seed(cfg_.seed, "head"));
+        return Linear("lm_head", cfg_.d_model, cfg_.vocab_size, rng, cfg_.init_std);
+      }()) {
+  if (cfg_.d_model % cfg_.n_heads != 0) {
+    throw std::invalid_argument("TransformerLM: d_model % n_heads != 0");
+  }
+  if (!cfg_.norm_gain.empty() &&
+      static_cast<std::int64_t>(cfg_.norm_gain.size()) != cfg_.d_model) {
+    throw std::invalid_argument("TransformerLM: norm_gain length mismatch");
+  }
+  util::Rng rng = make_init_rng(cfg_);
+  Matrix te(cfg_.vocab_size, cfg_.d_model);
+  te.fill_gaussian(rng, cfg_.init_std);
+  tok_emb_ = Param("tok_emb", std::move(te));
+  if (cfg_.tie_head_init) {
+    lm_head_.weight().value = tok_emb_.value.transposed();
+  }
+  Matrix pe(cfg_.max_seq, cfg_.d_model);
+  pe.fill_gaussian(rng, cfg_.init_std);
+  pos_emb_ = Param("pos_emb", std::move(pe));
+  blocks_.reserve(static_cast<std::size_t>(cfg_.n_layers));
+  for (std::int64_t l = 0; l < cfg_.n_layers; ++l) {
+    blocks_.emplace_back("blk" + std::to_string(l), cfg_.norm_kind, cfg_.mlp_kind,
+                         cfg_.d_model, cfg_.n_heads, cfg_.d_ff, cfg_.max_seq,
+                         cfg_.norm_gain, rng, cfg_.init_std);
+  }
+}
+
+Matrix TransformerLM::forward(std::span<const int> tokens, bool training) {
+  const std::int64_t t_len = static_cast<std::int64_t>(tokens.size());
+  if (t_len == 0 || t_len > cfg_.max_seq) {
+    throw std::invalid_argument("TransformerLM::forward: bad sequence length");
+  }
+  Matrix x(t_len, cfg_.d_model);
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    const int id = tokens[static_cast<std::size_t>(t)];
+    if (id < 0 || id >= cfg_.vocab_size) {
+      throw std::invalid_argument("TransformerLM::forward: token id out of range");
+    }
+    auto xr = x.row(t);
+    const auto er = tok_emb_.value.row(id);
+    const auto pr = pos_emb_.value.row(t);
+    for (std::int64_t c = 0; c < cfg_.d_model; ++c) xr[c] = er[c] + pr[c];
+  }
+  if (training) tokens_cache_.assign(tokens.begin(), tokens.end());
+  for (auto& block : blocks_) x = block.forward(x, training);
+  x = final_norm_.forward(x, training);
+  return lm_head_.forward(x, training);
+}
+
+void TransformerLM::backward(const Matrix& dlogits) {
+  if (tokens_cache_.empty() ||
+      static_cast<std::int64_t>(tokens_cache_.size()) != dlogits.rows()) {
+    throw std::logic_error("TransformerLM::backward: no matching forward");
+  }
+  Matrix dx = final_norm_.backward(lm_head_.backward(dlogits));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    dx = it->backward(dx);
+  }
+  for (std::int64_t t = 0; t < dx.rows(); ++t) {
+    const int id = tokens_cache_[static_cast<std::size_t>(t)];
+    auto ge = tok_emb_.grad.row(id);
+    auto gp = pos_emb_.grad.row(t);
+    const auto dr = dx.row(t);
+    for (std::int64_t c = 0; c < cfg_.d_model; ++c) {
+      ge[c] += dr[c];
+      gp[c] += dr[c];
+    }
+  }
+}
+
+Matrix TransformerLM::forward_cached(std::span<const int> tokens,
+                                     KvCache& cache) {
+  const std::int64_t t_new = static_cast<std::int64_t>(tokens.size());
+  const std::int64_t pos0 = cache.length;
+  if (t_new == 0 || pos0 + t_new > cfg_.max_seq) {
+    throw std::invalid_argument("forward_cached: bad sequence length");
+  }
+  if (cache.blocks.empty()) {
+    cache.blocks.resize(blocks_.size());
+  } else if (cache.blocks.size() != blocks_.size()) {
+    throw std::invalid_argument("forward_cached: cache from another model");
+  }
+  Matrix x(t_new, cfg_.d_model);
+  for (std::int64_t t = 0; t < t_new; ++t) {
+    const int id = tokens[static_cast<std::size_t>(t)];
+    if (id < 0 || id >= cfg_.vocab_size) {
+      throw std::invalid_argument("forward_cached: token id out of range");
+    }
+    auto xr = x.row(t);
+    const auto er = tok_emb_.value.row(id);
+    const auto pr = pos_emb_.value.row(pos0 + t);
+    for (std::int64_t c = 0; c < cfg_.d_model; ++c) xr[c] = er[c] + pr[c];
+  }
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    x = blocks_[l].forward_cached(x, cache.blocks[l], pos0);
+  }
+  cache.length = pos0 + t_new;
+  x = final_norm_.forward(x);
+  return lm_head_.forward(x);
+}
+
+std::vector<int> TransformerLM::generate(std::span<const int> prompt,
+                                         int max_new_tokens) {
+  if (prompt.empty()) throw std::invalid_argument("generate: empty prompt");
+  KvCache cache;
+  Matrix logits = forward_cached(prompt, cache);
+  std::vector<int> out;
+  for (int step = 0; step < max_new_tokens && cache.length < cfg_.max_seq;
+       ++step) {
+    const auto last = logits.row(logits.rows() - 1);
+    int best = 0;
+    for (std::int64_t v = 1; v < cfg_.vocab_size; ++v) {
+      if (last[v] > last[best]) best = static_cast<int>(v);
+    }
+    out.push_back(best);
+    if (cache.length >= cfg_.max_seq) break;
+    const int next[] = {best};
+    if (cache.length + 1 > cfg_.max_seq) break;
+    logits = forward_cached(next, cache);
+  }
+  return out;
+}
+
+int TransformerLM::predict_next(std::span<const int> tokens) {
+  const Matrix logits = forward(tokens, /*training=*/false);
+  const auto last = logits.row(logits.rows() - 1);
+  int best = 0;
+  for (std::int64_t v = 1; v < cfg_.vocab_size; ++v) {
+    if (last[v] > last[best]) best = static_cast<int>(v);
+  }
+  return best;
+}
+
+ParamRefs TransformerLM::collect_params() {
+  ParamRefs out;
+  out.push_back(&tok_emb_);
+  out.push_back(&pos_emb_);
+  for (auto& block : blocks_) block.collect_params(out);
+  final_norm_.collect_params(out);
+  lm_head_.collect_params(out);
+  return out;
+}
+
+void TransformerLM::zero_grads() {
+  for (Param* p : collect_params()) p->zero_grad();
+}
+
+std::vector<Linear*> TransformerLM::linear_layers() {
+  std::vector<Linear*> out;
+  for (auto& block : blocks_) block.collect_linears(out);
+  out.push_back(&lm_head_);
+  return out;
+}
+
+bool TransformerLM::is_analog() const {
+  for (auto* lin : const_cast<TransformerLM*>(this)->linear_layers()) {
+    if (lin->is_analog()) return true;
+  }
+  return false;
+}
+
+void TransformerLM::to_digital() {
+  for (auto* lin : linear_layers()) lin->to_digital();
+}
+
+}  // namespace nora::nn

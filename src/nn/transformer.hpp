@@ -1,0 +1,94 @@
+// Decoder-only transformer language model — the inference (and training)
+// stack the paper runs on top of PyTorch/HuggingFace, rebuilt in C++.
+//
+// All nn::Linear layers (QKV / attention-out / MLP projections / LM head)
+// can be re-targeted to analog CIM tiles; embeddings, normalization,
+// softmax attention and activation functions always run digitally,
+// matching the deployment split of paper Fig. 2b.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/block.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/param.hpp"
+#include "tensor/matrix.hpp"
+
+namespace nora::nn {
+
+struct TransformerConfig {
+  std::int64_t vocab_size = 96;
+  std::int64_t d_model = 64;
+  std::int64_t n_layers = 2;
+  std::int64_t n_heads = 4;
+  std::int64_t d_ff = 256;
+  std::int64_t max_seq = 64;
+  NormKind norm_kind = NormKind::kLayerNorm;
+  MlpKind mlp_kind = MlpKind::kGelu;
+  /// Fixed per-channel norm gain (outlier planting); empty = all ones.
+  std::vector<float> norm_gain;
+  float init_std = 0.05f;
+  /// Initialize the LM head as the transpose of the token embedding
+  /// (OPT-style weight tying at init). The two stay independent
+  /// parameters afterwards, but starting with an exact copy map makes
+  /// retrieval/copy circuits form much faster.
+  bool tie_head_init = true;
+  std::uint64_t seed = 1234;
+
+  std::int64_t param_count() const;
+};
+
+class TransformerLM {
+ public:
+  explicit TransformerLM(TransformerConfig cfg);
+
+  const TransformerConfig& config() const { return cfg_; }
+
+  /// tokens: one sequence of ids in [0, vocab). Returns logits [T x V].
+  Matrix forward(std::span<const int> tokens, bool training = false);
+
+  /// dlogits: [T x V]; accumulates all parameter gradients.
+  void backward(const Matrix& dlogits);
+
+  /// Greedy argmax of the last position's logits.
+  int predict_next(std::span<const int> tokens);
+
+  /// KV-cached incremental forward: append `tokens` at positions
+  /// cache.length.., return their logits, and extend the cache.
+  /// Numerically identical to forward() over the full sequence.
+  Matrix forward_cached(std::span<const int> tokens, KvCache& cache);
+
+  /// Greedy decoding: consume the prompt once, then emit up to
+  /// max_new_tokens (bounded by max_seq) using the KV cache.
+  std::vector<int> generate(std::span<const int> prompt, int max_new_tokens);
+
+  /// All trainable + fixed parameters, in a stable order (used by the
+  /// optimizer and checkpoint I/O).
+  ParamRefs collect_params();
+  void zero_grads();
+
+  /// Every analog-mappable linear layer, in a stable order.
+  std::vector<Linear*> linear_layers();
+  std::vector<TransformerBlock>& blocks() { return blocks_; }
+  Linear& lm_head() { return lm_head_; }
+
+  /// True if any linear layer currently runs on an analog backend.
+  bool is_analog() const;
+  /// Revert every linear layer to the digital backend.
+  void to_digital();
+
+ private:
+  TransformerConfig cfg_;
+  Param tok_emb_;  // [V x d]
+  Param pos_emb_;  // [max_seq x d]
+  std::vector<TransformerBlock> blocks_;
+  Norm final_norm_;
+  Linear lm_head_;  // [d x V]
+  std::vector<int> tokens_cache_;
+};
+
+}  // namespace nora::nn

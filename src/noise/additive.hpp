@@ -1,0 +1,35 @@
+// Additive system Gaussian noise at the tile I/O interface.
+//
+// Paper Table I: "Additive input noise" / "Additive output noise" are
+// zero-mean Gaussian perturbations injected by mixed-signal components
+// (mostly the ADCs, per Sec. IV). They act in the *normalized* analog
+// domain, so their effect in real units scales with alpha*gamma — which
+// is exactly the lever NORA pulls.
+#pragma once
+
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace nora::noise {
+
+class AdditiveGaussian {
+ public:
+  explicit AdditiveGaussian(float sigma = 0.0f) : sigma_(sigma) {}
+
+  bool enabled() const { return sigma_ > 0.0f; }
+  float sigma() const { return sigma_; }
+
+  float apply(float x, util::Rng& rng) const {
+    return enabled() ? x + static_cast<float>(rng.gaussian(0.0, sigma_)) : x;
+  }
+  void apply(std::span<float> xs, util::Rng& rng) const {
+    if (!enabled()) return;
+    for (auto& x : xs) x += static_cast<float>(rng.gaussian(0.0, sigma_));
+  }
+
+ private:
+  float sigma_ = 0.0f;
+};
+
+}  // namespace nora::noise

@@ -1,0 +1,48 @@
+#include "noise/drift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::noise {
+
+Matrix PcmDriftModel::sample_exponents(std::int64_t rows, std::int64_t cols,
+                                       util::Rng& rng) const {
+  Matrix nu(rows, cols);
+  float* p = nu.data();
+  for (std::int64_t i = 0; i < nu.size(); ++i) {
+    p[i] = std::max(0.0f, static_cast<float>(rng.gaussian(cfg_.nu_mean, cfg_.nu_sigma)));
+  }
+  return nu;
+}
+
+float PcmDriftModel::decay(float nu, float t_seconds) const {
+  if (t_seconds <= cfg_.t0) return 1.0f;
+  return std::pow(t_seconds / cfg_.t0, -nu);
+}
+
+float PcmDriftModel::compensation(float t_seconds) const {
+  if (!cfg_.compensate) return 1.0f;
+  return decay(cfg_.nu_mean, t_seconds);
+}
+
+void PcmDriftModel::apply(Matrix& w_hat, const Matrix& exponents,
+                          float t_seconds) const {
+  if (!w_hat.same_shape(exponents)) {
+    throw std::invalid_argument("PcmDriftModel::apply: shape mismatch");
+  }
+  const float comp = compensation(t_seconds);
+  float* w = w_hat.data();
+  const float* nu = exponents.data();
+  for (std::int64_t i = 0; i < w_hat.size(); ++i) {
+    w[i] *= decay(nu[i], t_seconds) / comp;
+  }
+}
+
+float PcmDriftModel::read_noise_sigma(float t_seconds) const {
+  if (cfg_.sigma_1f <= 0.0f) return 0.0f;
+  const float t = std::max(t_seconds, cfg_.t0);
+  return cfg_.sigma_1f *
+         std::sqrt(std::log((t + cfg_.t0) / (2.0f * cfg_.t0)) + 1.0f);
+}
+
+}  // namespace nora::noise

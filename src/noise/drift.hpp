@@ -1,0 +1,56 @@
+// PCM conductance drift (paper Sec. II-B Eq. 2 and the "Limitations"
+// experiment: accuracy re-measured one hour after programming).
+//
+// PCM conductance decays as a power law after programming:
+//   g(t) = g(t0) * (t / t0)^(-nu),    t >= t0,
+// with a per-device drift exponent nu ~ N(nu_mean, nu_sigma) (clamped at
+// 0) [Le Gallo & Sebastian, J.Phys.D 2020]. 1/f read noise also grows
+// slowly with time; we model it as an extra Gaussian read perturbation
+// with std-dev sigma_1f * sqrt(log((t+t_read)/(2*t_read))).
+//
+// Global drift compensation (standard practice, also in AIHWKIT)
+// divides the output by the *mean* decay factor (t/t0)^(-nu_mean);
+// residual error comes from per-device spread around the mean.
+#pragma once
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nora::noise {
+
+struct DriftConfig {
+  float nu_mean = 0.05f;   // nominal PCM drift exponent
+  float nu_sigma = 0.02f;  // device-to-device spread
+  float t0 = 20.0f;        // programming-to-first-read reference time [s]
+  float sigma_1f = 0.0f;   // 1/f read-noise scale (0 disables)
+  bool compensate = true;  // apply global drift compensation
+};
+
+class PcmDriftModel {
+ public:
+  explicit PcmDriftModel(const DriftConfig& cfg = {}) : cfg_(cfg) {}
+
+  const DriftConfig& config() const { return cfg_; }
+
+  /// Sample one drift exponent per device (same shape as the weights).
+  Matrix sample_exponents(std::int64_t rows, std::int64_t cols,
+                          util::Rng& rng) const;
+
+  /// Decay factor (t/t0)^(-nu) for a single device. t < t0 returns 1.
+  float decay(float nu, float t_seconds) const;
+
+  /// Global compensation factor at time t (1 if compensation disabled).
+  float compensation(float t_seconds) const;
+
+  /// Apply drift at time t to programmed weights in place, including the
+  /// compensation divide. exponents must match w's shape.
+  void apply(Matrix& w_hat, const Matrix& exponents, float t_seconds) const;
+
+  /// Extra 1/f read-noise std-dev at time t (normalized units).
+  float read_noise_sigma(float t_seconds) const;
+
+ private:
+  DriftConfig cfg_;
+};
+
+}  // namespace nora::noise

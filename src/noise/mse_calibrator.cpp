@@ -1,0 +1,46 @@
+#include "noise/mse_calibrator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::noise {
+
+MseCalibrator::MseCalibrator(MseFn fn, MseCalibratorOptions opts)
+    : fn_(std::move(fn)), opts_(opts) {
+  if (!fn_) throw std::invalid_argument("MseCalibrator: null function");
+}
+
+double MseCalibrator::solve(double target_mse) const {
+  if (target_mse <= 0.0) {
+    throw std::invalid_argument("MseCalibrator: target must be > 0");
+  }
+  double lo = opts_.param_lo;
+  double hi = opts_.param_hi;
+  double mse_hi = fn_(hi);
+  // Expand the upper bracket until it overshoots the target.
+  int expand = 0;
+  while (mse_hi < target_mse && expand++ < 40) {
+    hi *= 2.0;
+    mse_hi = fn_(hi);
+  }
+  double mse_lo = fn_(lo);
+  if (mse_lo > target_mse || mse_hi < target_mse) {
+    throw std::runtime_error("MseCalibrator: cannot bracket target MSE");
+  }
+  // Bisection in log-parameter space (noise->MSE maps span decades).
+  double best = hi;
+  for (int i = 0; i < opts_.max_iters; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    const double mse = fn_(mid);
+    best = mid;
+    if (std::fabs(mse - target_mse) / target_mse < opts_.rel_tol) return mid;
+    if (mse < target_mse) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace nora::noise

@@ -1,0 +1,43 @@
+// MSE-matched noise levels — the x-axis protocol of paper Fig. 3.
+//
+// The paper sweeps each non-ideality at magnitudes chosen so that, applied
+// alone, it causes a target mean-squared error (1e-4 ... 2.8e-3) on a
+// reference feature map. Given a monotone map from a noise parameter to
+// the measured MSE, MseCalibrator finds the parameter hitting a target
+// MSE by bracketing + bisection.
+#pragma once
+
+#include <functional>
+
+namespace nora::noise {
+
+struct MseCalibratorOptions {
+  double param_lo = 1e-6;   // initial lower bracket for the noise parameter
+  double param_hi = 1.0;    // initial upper bracket (auto-expands)
+  double rel_tol = 0.02;    // stop when |mse - target| / target < rel_tol
+  int max_iters = 60;
+};
+
+class MseCalibrator {
+ public:
+  using MseFn = std::function<double(double param)>;
+
+  explicit MseCalibrator(MseFn fn, MseCalibratorOptions opts = {});
+
+  /// Find the noise parameter whose MSE is approximately target_mse.
+  /// Throws std::runtime_error if the function cannot bracket the target.
+  double solve(double target_mse) const;
+
+ private:
+  MseFn fn_;
+  MseCalibratorOptions opts_;
+};
+
+/// The four MSE levels used on the Fig. 3 x-axis (between the paper's
+/// stated endpoints 1e-4..2e-4 and 2.7e-3..2.8e-3).
+inline constexpr double kFig3MseLevels[4] = {1.5e-4, 1.0e-3, 1.9e-3, 2.75e-3};
+
+/// The single MSE level of Fig. 5(b)/(c): 1.5e-3 .. 1.6e-3.
+inline constexpr double kFig5MseLevel = 1.55e-3;
+
+}  // namespace nora::noise

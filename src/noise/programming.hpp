@@ -1,0 +1,47 @@
+// PCM weight-programming noise (paper Table I: "weight fabrication
+// non-ideality"; Eq. 2 in Sec. II-B).
+//
+// When a weight is written into a PCM device via write-verify, the
+// achieved conductance deviates from the target. Following the
+// PCM-like noise model used by AIHWKIT [Nandakumar et al., IEDM'20],
+// the deviation is Gaussian with a conductance-dependent standard
+// deviation, quadratic in the normalized target conductance g_hat:
+//
+//   sigma(g_hat) = scale * (c0 + c1*g_hat + c2*g_hat^2)
+//
+// with (c0, c1, c2) = (0.26348, 1.9650, -1.1731) muS at g_max = 25 muS,
+// i.e. (0.010539, 0.078600, -0.046924) in normalized units.
+#pragma once
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nora::noise {
+
+class ProgrammingNoise {
+ public:
+  /// scale = 0 disables; scale = 1 is the nominal PCM model.
+  explicit ProgrammingNoise(float scale = 0.0f) : scale_(scale) {}
+
+  bool enabled() const { return scale_ > 0.0f; }
+  float scale() const { return scale_; }
+
+  /// Std-dev of the programming error for a normalized weight in [-1, 1].
+  float sigma(float w_hat) const;
+
+  /// Programming error after `iters` rounds of write-verify
+  /// [Buechel'23, Mackin'22]: each round reads the device and corrects
+  /// toward the target; the residual shrinks geometrically toward a
+  /// floor set by the programming-pulse granularity (~30% of the
+  /// single-shot sigma). iters = 1 is single-shot programming.
+  float residual_error(float target, int iters, util::Rng& rng) const;
+
+  /// Perturb a whole matrix of normalized weights in place (applied once,
+  /// at program time), with optional write-verify iterations.
+  void apply(Matrix& w_hat, util::Rng& rng, int write_verify_iters = 1) const;
+
+ private:
+  float scale_ = 0.0f;
+};
+
+}  // namespace nora::noise

@@ -1,0 +1,39 @@
+#include "noise/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::noise {
+
+UniformQuantizer::UniformQuantizer(float steps, float bound)
+    : steps_(steps), bound_(bound) {
+  if (steps < 0.0f) throw std::invalid_argument("UniformQuantizer: negative steps");
+  if (steps > 0.0f && steps < 2.0f) {
+    throw std::invalid_argument("UniformQuantizer: needs at least 2 steps");
+  }
+  if (steps > 0.0f && bound <= 0.0f) {
+    throw std::invalid_argument("UniformQuantizer: bound must be positive");
+  }
+}
+
+float UniformQuantizer::quantize(float x) const {
+  if (!enabled()) return x;
+  const float half = steps_ / 2.0f;
+  // Mid-rise uniform quantizer with saturation: levels are
+  // k * step, k in [-steps/2, steps/2].
+  float q = std::round(x / bound_ * half);
+  q = std::clamp(q, -half, half);
+  return q * bound_ / half;
+}
+
+void UniformQuantizer::apply(std::span<float> xs) const {
+  if (!enabled()) return;
+  for (auto& x : xs) x = quantize(x);
+}
+
+bool UniformQuantizer::saturates(float x) const {
+  return enabled() && std::fabs(x) >= bound_;
+}
+
+}  // namespace nora::noise

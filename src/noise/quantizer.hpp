@@ -1,0 +1,44 @@
+// Uniform quantizer modelling DAC (input) and ADC (output) conversion.
+//
+// Paper Table II: in_res = out_res = 7 bit (128 steps). Values are
+// quantized over a symmetric bound [-bound, +bound]; anything outside
+// saturates to the bound (ADC saturation / input clipping in the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nora::noise {
+
+class UniformQuantizer {
+ public:
+  /// steps == 0 disables quantization (ideal converter).
+  /// bound is the full-scale range; step size = 2*bound/steps.
+  /// Fractional step counts are allowed so MSE-matched sensitivity
+  /// sweeps (Fig. 3) can treat converter resolution as a continuous knob.
+  UniformQuantizer(float steps, float bound);
+
+  static UniformQuantizer ideal() { return UniformQuantizer(0.0f, 1.0f); }
+  static UniformQuantizer from_bits(int bits, float bound) {
+    return UniformQuantizer(bits > 0 ? static_cast<float>(1 << bits) : 0.0f,
+                            bound);
+  }
+
+  bool enabled() const { return steps_ > 0.0f; }
+  float steps() const { return steps_; }
+  float bound() const { return bound_; }
+  float step_size() const { return enabled() ? 2.0f * bound_ / steps_ : 0.0f; }
+
+  /// Quantize one value (round-to-nearest level, saturate at +-bound).
+  float quantize(float x) const;
+  void apply(std::span<float> xs) const;
+
+  /// True if |x| saturates the converter.
+  bool saturates(float x) const;
+
+ private:
+  float steps_ = 0.0f;
+  float bound_ = 1.0f;
+};
+
+}  // namespace nora::noise

@@ -1,0 +1,23 @@
+#include "noise/read_noise.hpp"
+
+namespace nora::noise {
+
+void ShortTermReadNoise::apply_to_outputs(std::span<float> y, float x_l2_norm,
+                                          util::Rng& rng) const {
+  if (!enabled()) return;
+  const double s = static_cast<double>(sigma_) * x_l2_norm;
+  for (auto& v : y) v += static_cast<float>(rng.gaussian(0.0, s));
+}
+
+Matrix ShortTermReadNoise::perturbed_weights(const Matrix& w_hat,
+                                             util::Rng& rng) const {
+  Matrix out = w_hat;
+  if (!enabled()) return out;
+  float* p = out.data();
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    p[i] += static_cast<float>(rng.gaussian(0.0, sigma_));
+  }
+  return out;
+}
+
+}  // namespace nora::noise

@@ -1,0 +1,38 @@
+// Short-term (cycle-to-cycle) weight read noise (paper Table I).
+//
+// Each analog MVM reads every conductance with an independent Gaussian
+// perturbation of std-dev w_noise (Table II: 0.0175, relative to g_max).
+// For output j:  y_j = sum_k (w_hat_kj + eps_kj) * x_hat_k
+//              = sum_k w_hat_kj x_hat_k  +  N(0, w_noise * ||x_hat||_2).
+// The class offers both the exact per-element form and the statistically
+// identical aggregated form (the default — one Gaussian per output),
+// which is what the tile uses for speed. Their equivalence is unit-tested.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nora::noise {
+
+class ShortTermReadNoise {
+ public:
+  explicit ShortTermReadNoise(float sigma = 0.0f) : sigma_(sigma) {}
+
+  bool enabled() const { return sigma_ > 0.0f; }
+  float sigma() const { return sigma_; }
+
+  /// Aggregated form: perturb the outputs of one MVM given ||x_hat||_2.
+  void apply_to_outputs(std::span<float> y, float x_l2_norm,
+                        util::Rng& rng) const;
+
+  /// Exact form: return a per-element perturbed copy of the weights
+  /// (one fresh sample per read). Used by tests and the reference path.
+  Matrix perturbed_weights(const Matrix& w_hat, util::Rng& rng) const;
+
+ private:
+  float sigma_ = 0.0f;
+};
+
+}  // namespace nora::noise

@@ -1,0 +1,27 @@
+// S-shape device nonlinearity (paper Table I, Fig. 3g).
+//
+// Models the compressive transfer curve of the analog input path:
+// f(x) = tanh(k*x) / tanh(k) on the normalized domain [-1, 1].
+// k -> 0 recovers the identity; larger k compresses large inputs.
+#pragma once
+
+#include <span>
+
+namespace nora::noise {
+
+class SShapeNonlinearity {
+ public:
+  explicit SShapeNonlinearity(float k = 0.0f);
+
+  bool enabled() const { return k_ > 0.0f; }
+  float k() const { return k_; }
+
+  float apply(float x) const;
+  void apply(std::span<float> xs) const;
+
+ private:
+  float k_ = 0.0f;
+  float inv_tanh_k_ = 1.0f;
+};
+
+}  // namespace nora::noise

@@ -1,0 +1,107 @@
+#include "quant/int8_linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::quant {
+
+namespace {
+inline float quant8(float v, float inv_scale, std::int64_t& saturations) {
+  float q = std::round(v * inv_scale);
+  if (q > 127.0f || q < -127.0f) {
+    ++saturations;
+    q = std::clamp(q, -127.0f, 127.0f);
+  }
+  return q;
+}
+}  // namespace
+
+Matrix int8_linear(const Matrix& x, const Matrix& w, std::span<const float> s,
+                   Int8GemmStats* stats, float static_act_scale) {
+  if (x.cols() != w.rows()) {
+    throw std::invalid_argument("int8_linear: inner dimensions differ");
+  }
+  if (!s.empty() && static_cast<std::int64_t>(s.size()) != w.rows()) {
+    throw std::invalid_argument("int8_linear: s length mismatch");
+  }
+  const std::int64_t t_count = x.rows(), k = x.cols(), n = w.cols();
+  // Quantize weights per output channel: wq[k][j] in [-127, 127],
+  // scale_j = max_k |w[k][j] * s[k]| / 127.
+  Matrix wq(k, n);
+  std::vector<float> w_scale(static_cast<std::size_t>(n), 0.0f);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float sk = s.empty() ? 1.0f : s[static_cast<std::size_t>(kk)];
+    for (std::int64_t j = 0; j < n; ++j) {
+      w_scale[static_cast<std::size_t>(j)] =
+          std::max(w_scale[static_cast<std::size_t>(j)],
+                   std::fabs(w.at(kk, j) * sk));
+    }
+  }
+  std::int64_t w_sat = 0;  // cannot saturate by construction; kept for clarity
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float sk = s.empty() ? 1.0f : s[static_cast<std::size_t>(kk)];
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float scale = w_scale[static_cast<std::size_t>(j)];
+      wq.at(kk, j) = scale > 0.0f
+                         ? quant8(w.at(kk, j) * sk, 127.0f / scale, w_sat)
+                         : 0.0f;
+    }
+  }
+  Matrix y(t_count, n);
+  Int8GemmStats local;
+  std::vector<float> xq(static_cast<std::size_t>(k));
+  for (std::int64_t t = 0; t < t_count; ++t) {
+    const auto xr = x.row(t);
+    // Static per-tensor scale (calibrated offline), or per-token
+    // dynamic abs-max.
+    float x_scale;
+    if (static_act_scale > 0.0f) {
+      x_scale = static_act_scale;
+    } else {
+      float amax = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float sk = s.empty() ? 1.0f : s[static_cast<std::size_t>(kk)];
+        amax = std::max(amax, std::fabs(xr[kk] / sk));
+      }
+      x_scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    }
+    local.mean_act_scale += x_scale;
+    const float inv = 1.0f / x_scale;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float sk = s.empty() ? 1.0f : s[static_cast<std::size_t>(kk)];
+      xq[static_cast<std::size_t>(kk)] = quant8(xr[kk] / sk, inv, local.act_saturations);
+    }
+    auto yr = y.row(t);
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;  // int32 accumulator in real hardware
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += double(xq[static_cast<std::size_t>(kk)]) * wq.at(kk, j);
+      }
+      yr[j] = static_cast<float>(acc) * x_scale *
+              (w_scale[static_cast<std::size_t>(j)] / 127.0f);
+    }
+  }
+  if (t_count > 0) local.mean_act_scale /= static_cast<double>(t_count);
+  if (stats != nullptr) *stats = local;
+  return y;
+}
+
+std::vector<float> smoothquant_vector(std::span<const float> act_abs_max,
+                                      std::span<const float> w_abs_max,
+                                      float lambda) {
+  if (act_abs_max.size() != w_abs_max.size()) {
+    throw std::invalid_argument("smoothquant_vector: length mismatch");
+  }
+  std::vector<float> s(act_abs_max.size(), 1.0f);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (act_abs_max[i] > 0.0f && w_abs_max[i] > 0.0f) {
+      const float v = std::pow(act_abs_max[i], lambda) /
+                      std::pow(w_abs_max[i], 1.0f - lambda);
+      if (std::isfinite(v) && v > 0.0f) s[i] = v;
+    }
+  }
+  return s;
+}
+
+}  // namespace nora::quant

@@ -1,0 +1,42 @@
+// Digital INT8 quantized GEMM — the digital-core baseline family the
+// paper positions NORA against (Sec. VI): W8A8 with per-token dynamic
+// activation scales and per-output-channel weight scales, with an
+// optional SmoothQuant-style rescale vector s [Xiao et al., ICML'23].
+//
+// On digital cores the same outlier channels that break analog tiles
+// break the per-token INT8 activation quantization; SmoothQuant's
+// x/s, w*s migration fixes it. NORA is the analog-tile counterpart of
+// that transform, so this module lets benches put the two side by side.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace nora::quant {
+
+struct Int8GemmStats {
+  std::int64_t act_saturations = 0;  // activation values clipped to +-127
+  double mean_act_scale = 0.0;       // mean per-token activation scale
+};
+
+/// y = dequant( quant8(x / s) * quant8(w * s) ), bias added in fp32.
+/// x: [T x K], w: [K x N], s: SmoothQuant vector (empty = identity).
+/// Weight quantization is per-output-channel symmetric. Activation
+/// quantization is per-token dynamic abs-max when static_act_scale <= 0,
+/// or *static per-tensor* with the given scale otherwise — the harder
+/// deployment mode SmoothQuant actually targets (the scale comes from
+/// offline calibration, values beyond it saturate).
+Matrix int8_linear(const Matrix& x, const Matrix& w,
+                   std::span<const float> s = {},
+                   Int8GemmStats* stats = nullptr,
+                   float static_act_scale = 0.0f);
+
+/// The SmoothQuant vector from calibration data (same formula as NORA's
+/// Sec. IV): s_k = max|x_k|^lambda / max|w_k|^(1-lambda).
+std::vector<float> smoothquant_vector(std::span<const float> act_abs_max,
+                                      std::span<const float> w_abs_max,
+                                      float lambda = 0.5f);
+
+}  // namespace nora::quant

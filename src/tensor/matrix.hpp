@@ -1,0 +1,63 @@
+// Dense row-major float matrix — the numerical workhorse of the project.
+//
+// All neural-network activations and weights, and all analog-tile data,
+// are 2-D float matrices. A deliberately small, concrete class (no
+// expression templates, no views) keeps the simulator code easy to audit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nora {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols, zero-initialized.
+  Matrix(std::int64_t rows, std::int64_t cols);
+  /// rows x cols with explicit contents (row-major, size must match).
+  Matrix(std::int64_t rows, std::int64_t cols, std::vector<float> data);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float& at(std::int64_t r, std::int64_t c) { return data_[r * cols_ + c]; }
+  float at(std::int64_t r, std::int64_t c) const { return data_[r * cols_ + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Row r as a contiguous span.
+  std::span<float> row(std::int64_t r) {
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+  std::span<const float> row(std::int64_t r) const {
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  void fill(float v);
+  /// Entries iid N(0, stddev^2).
+  void fill_gaussian(util::Rng& rng, float stddev);
+  /// Entries iid uniform in [lo, hi).
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+
+  /// Copy of row range [r0, r1).
+  Matrix slice_rows(std::int64_t r0, std::int64_t r1) const;
+  Matrix transposed() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace nora

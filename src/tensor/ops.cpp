@@ -1,0 +1,200 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::ops {
+
+namespace {
+
+void require(bool ok, const char* msg) {
+  if (!ok) throw std::invalid_argument(msg);
+}
+
+// Micro-kernel free blocked GEMM: C(MxN) += A(MxK) * B(KxN), row-major.
+// The k-outer / j-inner loop order streams B rows through cache and lets
+// the compiler vectorize the innermost j loop.
+void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+    const std::int64_t k1 = std::min(k, k0 + kBlock);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  gemm_acc(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  return c;
+}
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  require(a.cols() == b.rows(), "matmul_acc: inner dimensions differ");
+  require(c.rows() == a.rows() && c.cols() == b.cols(),
+          "matmul_acc: output shape mismatch");
+  gemm_acc(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_bt: inner dimensions differ");
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_at: inner dimensions differ");
+  const std::int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + kk * m;
+    const float* brow = b.data() + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+void add_inplace(Matrix& a, const Matrix& b) {
+  require(a.same_shape(b), "add_inplace: shape mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) pa[i] += pb[i];
+}
+
+void sub_inplace(Matrix& a, const Matrix& b) {
+  require(a.same_shape(b), "sub_inplace: shape mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) pa[i] -= pb[i];
+}
+
+void scale_inplace(Matrix& a, float s) {
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) pa[i] *= s;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  add_inplace(c, b);
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  sub_inplace(c, b);
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require(a.same_shape(b), "hadamard: shape mismatch");
+  Matrix c = a;
+  float* pc = c.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < c.size(); ++i) pc[i] *= pb[i];
+  return c;
+}
+
+void add_row_vector(Matrix& a, std::span<const float> v) {
+  require(static_cast<std::int64_t>(v.size()) == a.cols(),
+          "add_row_vector: length mismatch");
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) row[c] += v[c];
+  }
+}
+
+void mul_row_vector(Matrix& a, std::span<const float> v) {
+  require(static_cast<std::int64_t>(v.size()) == a.cols(),
+          "mul_row_vector: length mismatch");
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) row[c] *= v[c];
+  }
+}
+
+void div_row_vector(Matrix& a, std::span<const float> v) {
+  require(static_cast<std::int64_t>(v.size()) == a.cols(),
+          "div_row_vector: length mismatch");
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) row[c] /= v[c];
+  }
+}
+
+std::vector<float> row_abs_max(const Matrix& a) {
+  std::vector<float> out(static_cast<std::size_t>(a.rows()), 0.0f);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float m = 0.0f;
+    for (float x : a.row(r)) m = std::max(m, std::fabs(x));
+    out[static_cast<std::size_t>(r)] = m;
+  }
+  return out;
+}
+
+std::vector<float> col_abs_max(const Matrix& a) {
+  std::vector<float> out(static_cast<std::size_t>(a.cols()), 0.0f);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      out[static_cast<std::size_t>(c)] =
+          std::max(out[static_cast<std::size_t>(c)], std::fabs(row[c]));
+    }
+  }
+  return out;
+}
+
+float abs_max(const Matrix& a) {
+  float m = 0.0f;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+float frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) s += double(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(s));
+}
+
+double mse(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("mse: shape mismatch");
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = double(pa[i]) - pb[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace nora::ops

@@ -1,0 +1,47 @@
+// Dense linear-algebra kernels on Matrix.
+//
+// GEMM is the inner loop of both training and analog simulation; it is a
+// simple cache-blocked kernel tuned for the small (d <= a few hundred)
+// matrices this project uses, not a general BLAS replacement.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace nora::ops {
+
+/// C = A(MxK) * B(KxN).
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A(MxK) * B^T(NxK)  — the natural layout for Linear layers that
+/// store weights as [out, in].
+Matrix matmul_bt(const Matrix& a, const Matrix& b);
+/// C = A^T(KxM) * B(KxN)  — used by backward passes.
+Matrix matmul_at(const Matrix& a, const Matrix& b);
+
+/// C += A * B with the same shapes as matmul; used to accumulate grads.
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+void add_inplace(Matrix& a, const Matrix& b);       // a += b
+void sub_inplace(Matrix& a, const Matrix& b);       // a -= b
+void scale_inplace(Matrix& a, float s);             // a *= s
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);  // elementwise product
+
+/// Add a length-cols row vector to every row of a.
+void add_row_vector(Matrix& a, std::span<const float> v);
+/// Multiply every row of a elementwise by a length-cols vector.
+void mul_row_vector(Matrix& a, std::span<const float> v);
+/// Divide every row of a elementwise by a length-cols vector (no zero check).
+void div_row_vector(Matrix& a, std::span<const float> v);
+
+/// max_k |a[r][k]| for each row r.
+std::vector<float> row_abs_max(const Matrix& a);
+/// max_r |a[r][c]| for each column c.
+std::vector<float> col_abs_max(const Matrix& a);
+
+float abs_max(const Matrix& a);
+float frobenius_norm(const Matrix& a);
+/// Mean squared elementwise difference; shapes must match.
+double mse(const Matrix& a, const Matrix& b);
+
+}  // namespace nora::ops

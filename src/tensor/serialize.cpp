@@ -1,0 +1,60 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nora {
+
+namespace {
+constexpr char kMagic[4] = {'N', 'M', 'A', 'T'};
+}
+
+void write_i64(std::ostream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::int64_t read_i64(std::istream& in) {
+  std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("read_i64: truncated stream");
+  return v;
+}
+
+void write_f32(std::ostream& out, float v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+float read_f32(std::istream& in) {
+  float v = 0.0f;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("read_f32: truncated stream");
+  return v;
+}
+
+void write_matrix(std::ostream& out, const Matrix& m) {
+  out.write(kMagic, sizeof kMagic);
+  write_i64(out, m.rows());
+  write_i64(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Matrix read_matrix(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("read_matrix: bad magic");
+  }
+  const std::int64_t rows = read_i64(in);
+  const std::int64_t cols = read_i64(in);
+  if (rows < 0 || cols < 0 || rows * cols > (std::int64_t{1} << 32)) {
+    throw std::runtime_error("read_matrix: implausible shape");
+  }
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("read_matrix: truncated data");
+  return m;
+}
+
+}  // namespace nora

@@ -1,0 +1,21 @@
+// Binary (de)serialization of matrices for model checkpoints.
+//
+// Format: little-endian, magic "NMAT", i64 rows, i64 cols, raw float data.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "tensor/matrix.hpp"
+
+namespace nora {
+
+void write_matrix(std::ostream& out, const Matrix& m);
+Matrix read_matrix(std::istream& in);  // throws std::runtime_error on corruption
+
+void write_i64(std::ostream& out, std::int64_t v);
+std::int64_t read_i64(std::istream& in);
+void write_f32(std::ostream& out, float v);
+float read_f32(std::istream& in);
+
+}  // namespace nora

@@ -1,0 +1,81 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::stats {
+
+double mean(std::span<const float> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (float x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const float> xs) {
+  if (xs.empty()) return 0.0;
+  const double mu = mean(xs);
+  double s = 0.0;
+  for (float x : xs) {
+    const double d = x - mu;
+    s += d * d;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const float> xs) { return std::sqrt(variance(xs)); }
+
+double kurtosis(std::span<const float> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double m2 = 0.0, m4 = 0.0;
+  for (float x : xs) {
+    const double d = x - mu;
+    const double d2 = d * d;
+    m2 += d2;
+    m4 += d2 * d2;
+  }
+  const double n = static_cast<double>(xs.size());
+  m2 /= n;
+  m4 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double mean(const Matrix& m) {
+  return mean(std::span<const float>(m.data(), static_cast<std::size_t>(m.size())));
+}
+
+double kurtosis(const Matrix& m) {
+  return kurtosis(std::span<const float>(m.data(), static_cast<std::size_t>(m.size())));
+}
+
+Histogram histogram(std::span<const float> xs, double lo, double hi, int bins) {
+  if (bins <= 0 || hi <= lo) throw std::invalid_argument("histogram: bad bins/range");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.density.assign(static_cast<std::size_t>(bins), 0.0);
+  if (xs.empty()) return h;
+  const double w = (hi - lo) / bins;
+  for (float x : xs) {
+    int b = static_cast<int>(std::floor((x - lo) / w));
+    b = std::clamp(b, 0, bins - 1);
+    h.density[static_cast<std::size_t>(b)] += 1.0;
+  }
+  const double norm = 1.0 / (static_cast<double>(xs.size()) * w);
+  for (auto& d : h.density) d *= norm;
+  return h;
+}
+
+double outlier_fraction(std::span<const float> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (float x : xs) {
+    if (std::fabs(x) > threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+}  // namespace nora::stats

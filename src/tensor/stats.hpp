@@ -1,0 +1,41 @@
+// Distribution statistics used throughout the paper's analysis:
+// kurtosis (Fig. 4 / Fig. 6 measure how outlier-heavy activations are)
+// and kernel-density-style histograms (Fig. 4 KDE plots).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace nora::stats {
+
+double mean(std::span<const float> xs);
+double variance(std::span<const float> xs);  // population variance
+double stddev(std::span<const float> xs);
+
+/// Fisher (excess) kurtosis: E[(x-mu)^4]/sigma^4 - 3. Gaussian -> 0.
+/// The paper reports e.g. activation kurtosis 113.61 vs weight 1.25
+/// (Fig. 4) with this convention.
+double kurtosis(std::span<const float> xs);
+
+double mean(const Matrix& m);
+double kurtosis(const Matrix& m);
+
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<double> density;  // normalized so that sum(density)*bin = 1
+  double bin_width() const {
+    return density.empty() ? 0.0 : (hi - lo) / static_cast<double>(density.size());
+  }
+};
+
+/// Fixed-bin density estimate over [lo, hi]; out-of-range samples are
+/// clamped into the edge bins (mirrors how the paper's KDE plots clip).
+Histogram histogram(std::span<const float> xs, double lo, double hi, int bins);
+
+/// Fraction of |x| above the given threshold — a quick outlier measure.
+double outlier_fraction(std::span<const float> xs, double threshold);
+
+}  // namespace nora::stats

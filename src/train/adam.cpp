@@ -1,0 +1,54 @@
+#include "train/adam.hpp"
+
+#include <cmath>
+
+namespace nora::train {
+
+Adam::Adam(nn::ParamRefs params, AdamConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const nn::Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  // Global gradient-norm clipping over trainable params.
+  float clip_scale = 1.0f;
+  if (cfg_.grad_clip > 0.0f) {
+    double sq = 0.0;
+    for (const nn::Param* p : params_) {
+      if (!p->trainable) continue;
+      const float* g = p->grad.data();
+      for (std::int64_t i = 0; i < p->grad.size(); ++i) sq += double(g[i]) * g[i];
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > cfg_.grad_clip) {
+      clip_scale = static_cast<float>(cfg_.grad_clip / norm);
+    }
+  }
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Param* p = params_[i];
+    if (!p->trainable) continue;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::int64_t j = 0; j < p->value.size(); ++j) {
+      const float gj = g[j] * clip_scale;
+      m[j] = cfg_.beta1 * m[j] + (1.0f - cfg_.beta1) * gj;
+      v[j] = cfg_.beta2 * v[j] + (1.0f - cfg_.beta2) * gj * gj;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                         cfg_.weight_decay * w[j]);
+    }
+  }
+}
+
+}  // namespace nora::train

@@ -1,0 +1,38 @@
+// Adam optimizer over a model's Param set.
+#pragma once
+
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace nora::train {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style)
+  float grad_clip = 1.0f;     // global L2 clip; 0 disables
+};
+
+class Adam {
+ public:
+  Adam(nn::ParamRefs params, AdamConfig cfg = {});
+
+  /// One update from the accumulated gradients (does not zero them).
+  void step();
+  /// Override the learning rate (for schedules).
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+  std::int64_t steps_taken() const { return t_; }
+
+ private:
+  nn::ParamRefs params_;
+  AdamConfig cfg_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace nora::train

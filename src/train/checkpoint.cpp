@@ -1,0 +1,91 @@
+#include "train/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace nora::train {
+
+namespace {
+constexpr char kMagic[4] = {'N', 'C', 'K', 'P'};
+constexpr std::int64_t kVersion = 1;
+
+void write_config(std::ostream& out, const nn::TransformerConfig& cfg) {
+  write_i64(out, cfg.vocab_size);
+  write_i64(out, cfg.d_model);
+  write_i64(out, cfg.n_layers);
+  write_i64(out, cfg.n_heads);
+  write_i64(out, cfg.d_ff);
+  write_i64(out, cfg.max_seq);
+  write_i64(out, cfg.norm_kind == nn::NormKind::kRmsNorm ? 1 : 0);
+  write_i64(out, cfg.mlp_kind == nn::MlpKind::kSiluGated ? 1 : 0);
+  write_f32(out, cfg.init_std);
+  write_i64(out, static_cast<std::int64_t>(cfg.seed));
+  write_i64(out, static_cast<std::int64_t>(cfg.norm_gain.size()));
+  for (float g : cfg.norm_gain) write_f32(out, g);
+}
+
+nn::TransformerConfig read_config(std::istream& in) {
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = read_i64(in);
+  cfg.d_model = read_i64(in);
+  cfg.n_layers = read_i64(in);
+  cfg.n_heads = read_i64(in);
+  cfg.d_ff = read_i64(in);
+  cfg.max_seq = read_i64(in);
+  cfg.norm_kind = read_i64(in) == 1 ? nn::NormKind::kRmsNorm : nn::NormKind::kLayerNorm;
+  cfg.mlp_kind = read_i64(in) == 1 ? nn::MlpKind::kSiluGated : nn::MlpKind::kGelu;
+  cfg.init_std = read_f32(in);
+  cfg.seed = static_cast<std::uint64_t>(read_i64(in));
+  const std::int64_t n_gain = read_i64(in);
+  if (n_gain < 0 || n_gain > (1 << 24)) {
+    throw std::runtime_error("checkpoint: implausible gain length");
+  }
+  cfg.norm_gain.resize(static_cast<std::size_t>(n_gain));
+  for (auto& g : cfg.norm_gain) g = read_f32(in);
+  return cfg;
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, nn::TransformerLM& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_i64(out, kVersion);
+  write_config(out, model.config());
+  const auto params = model.collect_params();
+  write_i64(out, static_cast<std::int64_t>(params.size()));
+  for (const nn::Param* p : params) write_matrix(out, p->value);
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+std::unique_ptr<nn::TransformerLM> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  }
+  if (read_i64(in) != kVersion) {
+    throw std::runtime_error("load_checkpoint: unsupported version in " + path);
+  }
+  auto model = std::make_unique<nn::TransformerLM>(read_config(in));
+  const auto params = model->collect_params();
+  const std::int64_t count = read_i64(in);
+  if (count != static_cast<std::int64_t>(params.size())) {
+    throw std::runtime_error("load_checkpoint: parameter count mismatch in " + path);
+  }
+  for (nn::Param* p : params) {
+    Matrix m = read_matrix(in);
+    if (!m.same_shape(p->value)) {
+      throw std::runtime_error("load_checkpoint: shape mismatch for " + p->name);
+    }
+    p->value = std::move(m);
+  }
+  return model;
+}
+
+}  // namespace nora::train

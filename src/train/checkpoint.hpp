@@ -1,0 +1,21 @@
+// Model checkpoint I/O.
+//
+// Format: magic "NCKP", version, the full TransformerConfig (including
+// the planted norm gains), then every Param matrix in collect_params()
+// order. Loading reconstructs the model from the embedded config, so a
+// checkpoint is fully self-describing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/transformer.hpp"
+
+namespace nora::train {
+
+void save_checkpoint(const std::string& path, nn::TransformerLM& model);
+
+/// Throws std::runtime_error on missing/corrupt file.
+std::unique_ptr<nn::TransformerLM> load_checkpoint(const std::string& path);
+
+}  // namespace nora::train

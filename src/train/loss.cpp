@@ -1,0 +1,54 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nora::train {
+
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 std::span<const int> targets,
+                                 std::span<const float> weights) {
+  const std::int64_t t_len = logits.rows();
+  const std::int64_t v = logits.cols();
+  if (static_cast<std::int64_t>(targets.size()) != t_len) {
+    throw std::invalid_argument("cross_entropy: targets length mismatch");
+  }
+  if (!weights.empty() && static_cast<std::int64_t>(weights.size()) != t_len) {
+    throw std::invalid_argument("cross_entropy: weights length mismatch");
+  }
+  LossResult res;
+  res.dlogits = Matrix(t_len, v);
+  double total_weight = 0.0;
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    const int target = targets[static_cast<std::size_t>(t)];
+    if (target < 0) continue;
+    if (target >= v) throw std::invalid_argument("cross_entropy: target out of range");
+    const float w = weights.empty() ? 1.0f : weights[static_cast<std::size_t>(t)];
+    if (w <= 0.0f) continue;
+    total_weight += w;
+  }
+  if (total_weight == 0.0) return res;
+  const double inv_w = 1.0 / total_weight;
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    const int target = targets[static_cast<std::size_t>(t)];
+    const float w = weights.empty() ? 1.0f : weights[static_cast<std::size_t>(t)];
+    if (target < 0 || w <= 0.0f) continue;
+    const auto lr = logits.row(t);
+    auto dr = res.dlogits.row(t);
+    float row_max = lr[0];
+    for (float x : lr) row_max = std::max(row_max, x);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < v; ++c) denom += std::exp(double(lr[c]) - row_max);
+    const double log_denom = std::log(denom);
+    const double logp = double(lr[target]) - row_max - log_denom;
+    res.loss += -logp * w * inv_w;
+    const double scale = w * inv_w;
+    for (std::int64_t c = 0; c < v; ++c) {
+      const double p = std::exp(double(lr[c]) - row_max - log_denom);
+      dr[c] = static_cast<float>(scale * (p - (c == target ? 1.0 : 0.0)));
+    }
+  }
+  return res;
+}
+
+}  // namespace nora::train

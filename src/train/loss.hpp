@@ -1,0 +1,25 @@
+// Softmax cross-entropy over logits, with per-position weights.
+//
+// SynthLambada training puts full weight on the final (answer) position
+// and a small auxiliary weight on all other next-token positions, which
+// speeds up representation learning without changing the task metric.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace nora::train {
+
+struct LossResult {
+  double loss = 0.0;   // weighted mean cross-entropy
+  Matrix dlogits;      // gradient w.r.t. logits
+};
+
+/// logits: [T x V]; targets[t] is the target id for position t, or -1 to
+/// skip; weights[t] scales position t's contribution (pass {} for all 1).
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 std::span<const int> targets,
+                                 std::span<const float> weights = {});
+
+}  // namespace nora::train

@@ -1,0 +1,48 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace nora::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Cli: unexpected argument '" + arg +
+                                  "' (expected --key=value or --flag)");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "1";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool Cli::get_flag(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second != "0" && it->second != "false";
+}
+
+}  // namespace nora::util

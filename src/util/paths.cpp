@@ -1,0 +1,21 @@
+#include "util/paths.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace nora::util {
+
+std::string model_cache_dir() {
+  const char* env = std::getenv("NORA_CACHE_DIR");
+  std::string dir = env != nullptr && *env != '\0' ? env : "models_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return dir;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace nora::util

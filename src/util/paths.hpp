@@ -1,0 +1,18 @@
+// Resolution of the on-disk model cache directory.
+//
+// Trained synthetic-LLM checkpoints are expensive relative to everything
+// else in the project, so they are trained once and cached. The cache
+// location is $NORA_CACHE_DIR if set, otherwise ./models_cache.
+#pragma once
+
+#include <string>
+
+namespace nora::util {
+
+/// Directory for cached model checkpoints; created if missing.
+std::string model_cache_dir();
+
+/// True if the file exists and is readable.
+bool file_exists(const std::string& path);
+
+}  // namespace nora::util

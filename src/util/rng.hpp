@@ -1,0 +1,59 @@
+// Deterministic random number generation for the whole project.
+//
+// Every stochastic component in the simulator (noise injection, weight
+// initialization, dataset synthesis) draws from an explicitly seeded
+// xoshiro256** stream so that runs are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nora::util {
+
+/// splitmix64: used to expand a single 64-bit seed into the 256-bit
+/// xoshiro state, and as a convenient stateless hash for seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derive a child seed from a parent seed and a label, so independent
+/// subsystems ("weights", "dac-noise", ...) get decorrelated streams.
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view label);
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal (Box-Muller, cached second draw).
+  double gaussian();
+
+  /// Normal with the given mean / standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Bernoulli with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Split off an independent child stream identified by a label.
+  Rng split(std::string_view label) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_ = 0;
+  double cached_gauss_ = 0.0;
+  bool has_cached_gauss_ = false;
+};
+
+}  // namespace nora::util

@@ -1,0 +1,42 @@
+// Console / CSV table writer used by the benchmark harness to print the
+// rows and series of each paper table / figure in a uniform format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nora::util {
+
+/// Collects rows of string cells and renders them as an aligned console
+/// table (GitHub-markdown-ish) and/or writes them to a CSV file.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 4);
+  /// Format as a percentage, e.g. 87.99.
+  static std::string pct(double fraction, int precision = 2);
+
+  /// Render as an aligned text table.
+  std::string to_string() const;
+  /// Render as CSV.
+  std::string to_csv() const;
+
+  /// Print to stdout with an optional caption line.
+  void print(std::string_view caption = "") const;
+  /// Write CSV next to the binary (best effort; ignores I/O failure).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nora::util

@@ -1,0 +1,73 @@
+// Behavioral tests for the learned relative-position bias in attention:
+// a single bias parameter must be able to express offset-based heads
+// (e.g. the "previous token" head), independent of content.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/attention.hpp"
+
+namespace nora::nn {
+namespace {
+
+TEST(RelativeBias, LargePrevTokenBiasCopiesPreviousValue) {
+  util::Rng rng(1);
+  CausalSelfAttention attn("a", 8, 1, 16, rng, 0.0f);  // zero-init weights
+  // With zero QKV weights, V is only the bias path; make V = identity of
+  // the input by setting the value block of the QKV weight to I.
+  Matrix& w = attn.qkv().weight().value;  // [8 x 24]
+  for (std::int64_t c = 0; c < 8; ++c) w.at(c, 16 + c) = 1.0f;
+  Matrix& wo = attn.out_proj().weight().value;  // [8 x 8]
+  for (std::int64_t c = 0; c < 8; ++c) wo.at(c, c) = 1.0f;
+  // Huge bias at offset 1: every position attends to its predecessor.
+  ParamRefs params;
+  attn.collect_params(params);
+  Param* bias = params.back();
+  ASSERT_NE(bias->name.find("rel_bias"), std::string::npos);
+  bias->value.at(0, 1) = 50.0f;
+
+  Matrix x(4, 8);
+  util::Rng xr(2);
+  x.fill_gaussian(xr, 1.0f);
+  const Matrix y = attn.forward(x);
+  // Row t (t >= 1) should be ~ x[t-1]; row 0 attends to itself.
+  for (std::int64_t t = 1; t < 4; ++t) {
+    for (std::int64_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(y.at(t, c), x.at(t - 1, c), 1e-3) << "t=" << t;
+    }
+  }
+  for (std::int64_t c = 0; c < 8; ++c) EXPECT_NEAR(y.at(0, c), x.at(0, c), 1e-3);
+}
+
+TEST(RelativeBias, ZeroBiasGivesUniformAttentionForZeroScores) {
+  util::Rng rng(3);
+  CausalSelfAttention attn("a", 8, 1, 16, rng, 0.0f);
+  Matrix& w = attn.qkv().weight().value;
+  for (std::int64_t c = 0; c < 8; ++c) w.at(c, 16 + c) = 1.0f;
+  Matrix& wo = attn.out_proj().weight().value;
+  for (std::int64_t c = 0; c < 8; ++c) wo.at(c, c) = 1.0f;
+  Matrix x(3, 8);
+  util::Rng xr(4);
+  x.fill_gaussian(xr, 1.0f);
+  const Matrix y = attn.forward(x);
+  // Zero scores + zero bias -> uniform attention over the causal prefix.
+  for (std::int64_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(y.at(1, c), 0.5f * (x.at(0, c) + x.at(1, c)), 1e-4);
+    EXPECT_NEAR(y.at(2, c),
+                (x.at(0, c) + x.at(1, c) + x.at(2, c)) / 3.0f, 1e-4);
+  }
+}
+
+TEST(RelativeBias, IsTrainableParam) {
+  util::Rng rng(5);
+  CausalSelfAttention attn("a", 8, 2, 16, rng, 0.1f);
+  ParamRefs params;
+  attn.collect_params(params);
+  Param* bias = params.back();
+  EXPECT_TRUE(bias->trainable);
+  EXPECT_EQ(bias->value.rows(), 2);   // per head
+  EXPECT_EQ(bias->value.cols(), 16);  // per offset up to max_seq
+}
+
+}  // namespace
+}  // namespace nora::nn

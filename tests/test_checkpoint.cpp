@@ -1,0 +1,84 @@
+// Tests for checkpoint save/load and matrix serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/ops.hpp"
+#include "tensor/serialize.hpp"
+#include "train/checkpoint.hpp"
+
+namespace nora {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  util::Rng rng(1);
+  Matrix m(13, 7);
+  m.fill_gaussian(rng, 2.0f);
+  std::stringstream ss;
+  write_matrix(ss, m);
+  const Matrix back = read_matrix(ss);
+  EXPECT_EQ(back.rows(), 13);
+  EXPECT_EQ(back.cols(), 7);
+  EXPECT_EQ(ops::mse(m, back), 0.0);
+}
+
+TEST(Serialize, DetectsCorruption) {
+  std::stringstream empty;
+  EXPECT_THROW(read_matrix(empty), std::runtime_error);
+  std::stringstream bad("XXXXgarbage-not-a-matrix");
+  EXPECT_THROW(read_matrix(bad), std::runtime_error);
+  // Truncated payload.
+  Matrix m(4, 4);
+  std::stringstream ss;
+  write_matrix(ss, m);
+  std::string data = ss.str();
+  data.resize(data.size() - 8);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_matrix(truncated), std::runtime_error);
+}
+
+TEST(Checkpoint, RoundTripPreservesPredictions) {
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 20;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 24;
+  cfg.max_seq = 12;
+  cfg.norm_gain = std::vector<float>(16, 1.0f);
+  cfg.norm_gain[5] = 7.0f;
+  nn::TransformerLM model(cfg);
+  const std::string path = temp_path("nora_test_ckpt.nckp");
+  train::save_checkpoint(path, model);
+  auto loaded = train::load_checkpoint(path);
+  // Same architecture, same planted gains, same logits.
+  EXPECT_EQ(loaded->config().norm_gain[5], 7.0f);
+  EXPECT_EQ(loaded->config().mlp_kind, cfg.mlp_kind);
+  const std::vector<int> tokens{1, 2, 3, 4, 5};
+  const Matrix a = model.forward(tokens);
+  const Matrix b = loaded->forward(tokens);
+  EXPECT_EQ(ops::mse(a, b), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(train::load_checkpoint("/nonexistent/path.nckp"),
+               std::runtime_error);
+  const std::string path = temp_path("nora_test_corrupt.nckp");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOT A CHECKPOINT";
+  }
+  EXPECT_THROW(train::load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nora

@@ -1,0 +1,97 @@
+// Tests for the analytic energy/latency/area cost model.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+
+namespace nora::cost {
+namespace {
+
+TEST(CostModel, BreakdownSumsToTotal) {
+  const auto a = analog_linear_cost(512, 512, 16, cim::TileConfig::paper_table2());
+  EXPECT_NEAR(a.energy_pj, a.adc_pj + a.dac_pj + a.cell_pj, 1e-6);
+  EXPECT_GT(a.area_um2, 0.0);
+  const auto d = digital_linear_cost(512, 512, 16, 32);
+  EXPECT_NEAR(d.energy_pj, d.mac_pj + d.mem_pj, 1e-6);
+}
+
+TEST(CostModel, AdcEnergyDoublesPerBit) {
+  cim::TileConfig c7 = cim::TileConfig::paper_table2();
+  cim::TileConfig c8 = c7;
+  c8.adc_bits = 8;
+  const auto a7 = analog_linear_cost(512, 512, 4, c7);
+  const auto a8 = analog_linear_cost(512, 512, 4, c8);
+  EXPECT_NEAR(a8.adc_pj / a7.adc_pj, 2.0, 1e-6);
+}
+
+TEST(CostModel, EnergyScalesLinearlyInTokens) {
+  const auto c1 = analog_linear_cost(256, 256, 1, cim::TileConfig::paper_table2());
+  const auto c4 = analog_linear_cost(256, 256, 4, cim::TileConfig::paper_table2());
+  EXPECT_NEAR(c4.energy_pj / c1.energy_pj, 4.0, 1e-6);
+  EXPECT_NEAR(c4.latency_ns / c1.latency_ns, 4.0, 1e-6);
+}
+
+TEST(CostModel, TilePartitioningAddsAdcConversions) {
+  // Splitting K over two row blocks doubles the ADC conversions
+  // (partial sums are converted separately).
+  cim::TileConfig one = cim::TileConfig::paper_table2();
+  one.tile_rows = 1024;
+  cim::TileConfig two = one;
+  two.tile_rows = 512;
+  const auto a1 = analog_linear_cost(1024, 256, 4, one);
+  const auto a2 = analog_linear_cost(1024, 256, 4, two);
+  EXPECT_NEAR(a2.adc_pj / a1.adc_pj, 2.0, 1e-6);
+  EXPECT_EQ(a1.cell_pj, a2.cell_pj);
+}
+
+TEST(CostModel, Int8BeatsFp32Digital) {
+  const auto fp32 = digital_linear_cost(512, 512, 16, 32);
+  const auto int8 = digital_linear_cost(512, 512, 16, 8);
+  EXPECT_LT(int8.energy_pj, fp32.energy_pj);
+}
+
+TEST(CostModel, WeightReuseAmortizesMemoryWall) {
+  // Per-token energy shrinks as more tokens share one weight stream.
+  const auto few = digital_linear_cost(512, 512, 1, 32);
+  const auto many = digital_linear_cost(512, 512, 64, 32);
+  EXPECT_LT(many.energy_pj / 64.0, few.energy_pj);
+}
+
+TEST(CostModel, AnalogBeatsDigitalAtModerateResolutionLosesAtHigh) {
+  // The crossover the bench prints: 7-bit analog beats int8 digital for
+  // single-token (memory-bound) inference; very high ADC resolution
+  // erodes the advantage.
+  const auto dig = digital_linear_cost(512, 512, 1, 8);
+  cim::TileConfig lowres = cim::TileConfig::paper_table2();
+  const auto analog7 = analog_linear_cost(512, 512, 1, lowres);
+  EXPECT_LT(analog7.energy_pj, dig.energy_pj);
+  cim::TileConfig hires = lowres;
+  hires.adc_bits = 14;
+  hires.dac_bits = 14;
+  const auto analog14 = analog_linear_cost(512, 512, 1, hires);
+  EXPECT_GT(analog14.energy_pj, analog7.energy_pj * 20.0);
+}
+
+TEST(CostModel, ValidatesArguments) {
+  EXPECT_THROW(analog_linear_cost(0, 8, 1, cim::TileConfig::paper_table2()),
+               std::invalid_argument);
+  EXPECT_THROW(digital_linear_cost(8, 8, 1, 16), std::invalid_argument);
+}
+
+TEST(CostModel, ModelAggregationMatchesLayerSum) {
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 20;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 32;
+  nn::TransformerLM model(cfg);
+  const auto c = model_linear_cost(model, 8, Backend::kAnalogCim,
+                                   cim::TileConfig::paper_table2());
+  EXPECT_EQ(c.layers.size(), model.linear_layers().size());
+  double sum = 0.0;
+  for (const auto& l : c.layers) sum += l.energy_pj;
+  EXPECT_NEAR(sum, c.energy_pj, 1e-6);
+}
+
+}  // namespace
+}  // namespace nora::cost

@@ -1,0 +1,132 @@
+// End-to-end integration test: train a micro LLM with planted outlier
+// channels, deploy it on the simulated analog hardware at the paper's
+// Table II operating point, and verify the paper's headline ordering:
+//
+//   digital fp32  >=  NORA analog  >>  naive analog.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/nora.hpp"
+#include "eval/evaluator.hpp"
+#include "model/zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace nora {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static eval::SynthLambadaConfig task_cfg() {
+    eval::SynthLambadaConfig t;
+    t.n_queries = 4;
+    return t;
+  }
+
+  // Train once for the whole suite (a few seconds).
+  static nn::TransformerLM* trained_model() {
+    static std::unique_ptr<nn::TransformerLM> model = [] {
+      nn::TransformerConfig arch;
+      const auto t = task_cfg();
+      arch.vocab_size = t.vocab_size();
+      arch.max_seq = t.seq_len;
+      arch.d_model = 48;
+      arch.n_layers = 2;
+      arch.n_heads = 4;
+      arch.d_ff = 96;
+      arch.seed = 11;
+      model::OutlierSpec outliers{0.08f, 22.0f, 38.0f, 11};
+      arch.norm_gain = model::planted_gains(arch.d_model, outliers);
+      auto m = std::make_unique<nn::TransformerLM>(arch);
+      model::compensate_planted_gains(*m);
+      train::TrainConfig tc;
+      tc.steps = 1200;
+      tc.eval_every = 50;
+      tc.target_accuracy = 0.95;
+      tc.verbose = false;
+      train::train_lm(*m, eval::SynthLambada(task_cfg()), tc);
+      return m;
+    }();
+    return model.get();
+  }
+
+  static double eval_accuracy(nn::TransformerLM& m) {
+    eval::EvalOptions eo;
+    eo.n_examples = 96;
+    eval::SynthLambadaConfig t = task_cfg();
+    t.n_queries = 1;
+    return eval::evaluate(m, eval::SynthLambada(t), eo).accuracy;
+  }
+};
+
+TEST_F(IntegrationTest, TrainingSolvesTheTask) {
+  EXPECT_GE(eval_accuracy(*trained_model()), 0.9);
+}
+
+TEST_F(IntegrationTest, HeadlineOrderingDigitalGeNoraGtNaive) {
+  nn::TransformerLM& model = *trained_model();
+  model.to_digital();
+  const double fp = eval_accuracy(model);
+
+  const eval::SynthLambada task(task_cfg());
+  core::DeployOptions naive;
+  naive.tile = cim::TileConfig::paper_table2();
+  naive.nora.enabled = false;
+  core::deploy_analog(model, task, naive);
+  const double acc_naive = eval_accuracy(model);
+
+  model.to_digital();
+  core::DeployOptions nora;
+  nora.tile = cim::TileConfig::paper_table2();
+  nora.nora.enabled = true;
+  core::deploy_analog(model, task, nora);
+  const double acc_nora = eval_accuracy(model);
+  model.to_digital();
+
+  // The paper's headline: naive deployment is catastrophic, NORA is
+  // near-lossless (Fig. 5a).
+  EXPECT_LT(acc_naive, fp - 0.10);
+  EXPECT_GE(acc_nora, fp - 0.05);
+  EXPECT_GT(acc_nora, acc_naive + 0.10);
+}
+
+TEST_F(IntegrationTest, NoraIsExactWithoutNoise) {
+  nn::TransformerLM& model = *trained_model();
+  model.to_digital();
+  const double fp = eval_accuracy(model);
+  const eval::SynthLambada task(task_cfg());
+  core::DeployOptions opts;
+  opts.tile = cim::TileConfig::ideal();
+  opts.nora.enabled = true;
+  core::deploy_analog(model, task, opts);
+  EXPECT_EQ(eval_accuracy(model), fp);
+  model.to_digital();
+}
+
+TEST_F(IntegrationTest, QuantizationOnlyHurtsAndNoraRecovers) {
+  nn::TransformerLM& model = *trained_model();
+  model.to_digital();
+  const double fp = eval_accuracy(model);
+  const eval::SynthLambada task(task_cfg());
+  // 7-bit converters alone (no other noise).
+  cim::TileConfig q = cim::TileConfig::ideal();
+  q.dac_bits = 7;
+  q.adc_bits = 7;
+  core::DeployOptions naive;
+  naive.tile = q;
+  naive.nora.enabled = false;
+  core::deploy_analog(model, task, naive);
+  const double acc_naive = eval_accuracy(model);
+  model.to_digital();
+  core::DeployOptions nora;
+  nora.tile = q;
+  nora.nora.enabled = true;
+  core::deploy_analog(model, task, nora);
+  const double acc_nora = eval_accuracy(model);
+  model.to_digital();
+  EXPECT_GE(acc_nora, acc_naive);
+  EXPECT_GE(acc_nora, fp - 0.05);
+}
+
+}  // namespace
+}  // namespace nora

@@ -1,0 +1,124 @@
+// Tests for KV-cached incremental decoding: the cached path must be
+// numerically identical to the full-context forward, on both digital
+// and (noise-free) analog backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/tile_config.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/ops.hpp"
+
+namespace nora::nn {
+namespace {
+
+TransformerLM make_model() {
+  TransformerConfig cfg;
+  cfg.vocab_size = 30;
+  cfg.d_model = 24;
+  cfg.n_layers = 2;
+  cfg.n_heads = 3;
+  cfg.d_ff = 48;
+  cfg.max_seq = 16;
+  cfg.seed = 77;
+  return TransformerLM(cfg);
+}
+
+const std::vector<int> kTokens{3, 1, 4, 1, 5, 9, 2, 6};
+
+TEST(KvCache, BulkCachedForwardMatchesFullForward) {
+  TransformerLM model = make_model();
+  const Matrix full = model.forward(kTokens);
+  KvCache cache;
+  const Matrix cached = model.forward_cached(kTokens, cache);
+  EXPECT_EQ(cache.length, static_cast<std::int64_t>(kTokens.size()));
+  ASSERT_TRUE(full.same_shape(cached));
+  for (std::int64_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(full.data()[i], cached.data()[i], 1e-4) << "index " << i;
+  }
+}
+
+TEST(KvCache, TokenByTokenMatchesFullForward) {
+  TransformerLM model = make_model();
+  const Matrix full = model.forward(kTokens);
+  KvCache cache;
+  for (std::size_t t = 0; t < kTokens.size(); ++t) {
+    const int tok[] = {kTokens[t]};
+    const Matrix logits = model.forward_cached(tok, cache);
+    ASSERT_EQ(logits.rows(), 1);
+    const auto ref = full.row(static_cast<std::int64_t>(t));
+    const auto got = logits.row(0);
+    for (std::int64_t v = 0; v < full.cols(); ++v) {
+      ASSERT_NEAR(ref[v], got[v], 1e-3) << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(KvCache, ChunkedPrefillMatches) {
+  TransformerLM model = make_model();
+  const Matrix full = model.forward(kTokens);
+  KvCache cache;
+  const std::vector<int> first(kTokens.begin(), kTokens.begin() + 3);
+  const std::vector<int> rest(kTokens.begin() + 3, kTokens.end());
+  model.forward_cached(first, cache);
+  const Matrix tail = model.forward_cached(rest, cache);
+  for (std::int64_t t = 0; t < tail.rows(); ++t) {
+    const auto ref = full.row(3 + t);
+    const auto got = tail.row(t);
+    for (std::int64_t v = 0; v < full.cols(); ++v) {
+      ASSERT_NEAR(ref[v], got[v], 1e-3);
+    }
+  }
+}
+
+TEST(KvCache, WorksOnIdealAnalogBackend) {
+  TransformerLM model = make_model();
+  const Matrix full = model.forward(kTokens);
+  for (auto* lin : model.linear_layers()) {
+    lin->to_analog(cim::TileConfig::ideal(), {}, 5);
+  }
+  KvCache cache;
+  const Matrix cached = model.forward_cached(kTokens, cache);
+  EXPECT_LT(ops::mse(full, cached), 1e-6);
+}
+
+TEST(KvCache, ValidatesUsage) {
+  TransformerLM model = make_model();
+  KvCache cache;
+  EXPECT_THROW(model.forward_cached(std::vector<int>{}, cache),
+               std::invalid_argument);
+  EXPECT_THROW(model.forward_cached(std::vector<int>(17, 1), cache),
+               std::invalid_argument);
+  model.forward_cached(std::vector<int>{1, 2}, cache);
+  EXPECT_THROW(model.forward_cached(std::vector<int>{99}, cache),
+               std::invalid_argument);
+  KvCache foreign;
+  foreign.blocks.resize(5);
+  EXPECT_THROW(model.forward_cached(std::vector<int>{1}, foreign),
+               std::invalid_argument);
+}
+
+TEST(Generate, GreedyMatchesRepeatedPredictNext) {
+  TransformerLM model = make_model();
+  std::vector<int> prompt{3, 1, 4};
+  const auto generated = model.generate(prompt, 5);
+  ASSERT_EQ(generated.size(), 5u);
+  std::vector<int> seq = prompt;
+  for (int tok : generated) {
+    EXPECT_EQ(tok, model.predict_next(seq));
+    seq.push_back(tok);
+  }
+}
+
+TEST(Generate, StopsAtMaxSeq) {
+  TransformerLM model = make_model();
+  std::vector<int> prompt{1, 2, 3};
+  const auto generated = model.generate(prompt, 100);
+  // max_seq = 16, prompt 3 -> at most 13 new tokens.
+  EXPECT_LE(generated.size(), 13u);
+  EXPECT_GE(generated.size(), 12u);
+  EXPECT_THROW(model.generate(std::vector<int>{}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nora::nn

@@ -1,0 +1,174 @@
+// Tests for the Matrix container and linear-algebra kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace nora {
+namespace {
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::int64_t k = 0; k < a.cols(); ++k) s += double(a.at(i, k)) * b.at(k, j);
+      c.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Matrix random_matrix(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(r, c);
+  m.fill_gaussian(rng, 1.0f);
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (std::int64_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+  m.at(1, 2) = 5.0f;
+  EXPECT_EQ(m.at(1, 2), 5.0f);
+  EXPECT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(Matrix, ConstructFromDataValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, SliceRows) {
+  Matrix m(4, 2, {0, 1, 2, 3, 4, 5, 6, 7});
+  const Matrix s = m.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_EQ(s.at(1, 1), 5.0f);
+  EXPECT_THROW(m.slice_rows(3, 2), std::out_of_range);
+  EXPECT_THROW(m.slice_rows(0, 5), std::out_of_range);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) EXPECT_EQ(m.at(i, j), t.at(j, i));
+  }
+}
+
+TEST(Ops, MatmulMatchesNaive) {
+  const Matrix a = random_matrix(17, 33, 1);
+  const Matrix b = random_matrix(33, 9, 2);
+  const Matrix c = ops::matmul(a, b);
+  const Matrix ref = naive_matmul(a, b);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(ops::matmul(Matrix(2, 3), Matrix(4, 2)), std::invalid_argument);
+}
+
+TEST(Ops, MatmulBtMatchesTransposedForm) {
+  const Matrix a = random_matrix(5, 8, 3);
+  const Matrix b = random_matrix(7, 8, 4);  // [N x K]
+  const Matrix c = ops::matmul_bt(a, b);
+  const Matrix ref = naive_matmul(a, b.transposed());
+  ASSERT_EQ(c.rows(), 5);
+  ASSERT_EQ(c.cols(), 7);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, MatmulAtMatchesTransposedForm) {
+  const Matrix a = random_matrix(8, 5, 5);  // [K x M]
+  const Matrix b = random_matrix(8, 6, 6);  // [K x N]
+  const Matrix c = ops::matmul_at(a, b);
+  const Matrix ref = naive_matmul(a.transposed(), b);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, MatmulAccAccumulates) {
+  const Matrix a = random_matrix(3, 4, 7);
+  const Matrix b = random_matrix(4, 2, 8);
+  Matrix c = random_matrix(3, 2, 9);
+  const Matrix before = c;
+  ops::matmul_acc(a, b, c);
+  const Matrix prod = ops::matmul(a, b);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], before.data()[i] + prod.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, ElementwiseArithmetic) {
+  Matrix a(1, 3, {1, 2, 3});
+  const Matrix b(1, 3, {10, 20, 30});
+  EXPECT_EQ(ops::add(a, b).at(0, 1), 22.0f);
+  EXPECT_EQ(ops::sub(b, a).at(0, 2), 27.0f);
+  EXPECT_EQ(ops::hadamard(a, b).at(0, 0), 10.0f);
+  ops::scale_inplace(a, 2.0f);
+  EXPECT_EQ(a.at(0, 2), 6.0f);
+  EXPECT_THROW(ops::add(a, Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Ops, RowVectorOps) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<float> v{1, 10, 100};
+  ops::add_row_vector(a, v);
+  EXPECT_EQ(a.at(0, 0), 2.0f);
+  EXPECT_EQ(a.at(1, 2), 106.0f);
+  ops::mul_row_vector(a, v);
+  EXPECT_EQ(a.at(0, 1), 120.0f);
+  ops::div_row_vector(a, v);
+  EXPECT_EQ(a.at(0, 1), 12.0f);
+  const std::vector<float> bad{1, 2};
+  EXPECT_THROW(ops::add_row_vector(a, bad), std::invalid_argument);
+}
+
+TEST(Ops, AbsMaxReductions) {
+  const Matrix m(2, 3, {1, -5, 2, -3, 4, -2});
+  const auto rmax = ops::row_abs_max(m);
+  EXPECT_EQ(rmax[0], 5.0f);
+  EXPECT_EQ(rmax[1], 4.0f);
+  const auto cmax = ops::col_abs_max(m);
+  EXPECT_EQ(cmax[0], 3.0f);
+  EXPECT_EQ(cmax[1], 5.0f);
+  EXPECT_EQ(cmax[2], 2.0f);
+  EXPECT_EQ(ops::abs_max(m), 5.0f);
+}
+
+TEST(Ops, MseAndNorm) {
+  const Matrix a(1, 4, {1, 2, 3, 4});
+  const Matrix b(1, 4, {1, 2, 3, 6});
+  EXPECT_NEAR(ops::mse(a, b), 1.0, 1e-9);  // (0+0+0+4)/4
+  EXPECT_NEAR(ops::frobenius_norm(a), std::sqrt(30.0f), 1e-5);
+  EXPECT_THROW(ops::mse(a, Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Ops, FillGaussianStatistics) {
+  util::Rng rng(123);
+  Matrix m(100, 100);
+  m.fill_gaussian(rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += double(m.data()[i]) * m.data()[i];
+  }
+  EXPECT_NEAR(sum / m.size(), 0.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / m.size()), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace nora

@@ -1,0 +1,103 @@
+// Tests for the MSE-matched noise-level solver (Fig. 3 x-axis protocol).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/mse_probe.hpp"
+#include "cim/tile_config.hpp"
+#include "noise/mse_calibrator.hpp"
+
+namespace nora::noise {
+namespace {
+
+TEST(MseCalibrator, SolvesAnalyticQuadratic) {
+  // mse(p) = p^2: target t -> p = sqrt(t).
+  const MseCalibrator cal([](double p) { return p * p; });
+  for (const double target : {1e-4, 1e-3, 2.75e-3}) {
+    const double p = cal.solve(target);
+    EXPECT_NEAR(p, std::sqrt(target), 0.05 * std::sqrt(target));
+  }
+}
+
+TEST(MseCalibrator, ExpandsUpperBracket) {
+  // Needs param far above the initial hi=1.
+  MseCalibratorOptions opts;
+  opts.param_hi = 1.0;
+  const MseCalibrator cal([](double p) { return p / 1000.0; }, opts);
+  EXPECT_NEAR(cal.solve(0.5), 500.0, 25.0);
+}
+
+TEST(MseCalibrator, RejectsBadInputs) {
+  const MseCalibrator cal([](double p) { return p; });
+  EXPECT_THROW(cal.solve(0.0), std::invalid_argument);
+  EXPECT_THROW(cal.solve(-1.0), std::invalid_argument);
+  EXPECT_THROW(MseCalibrator(nullptr), std::invalid_argument);
+  // Floor above the target cannot be bracketed.
+  const MseCalibrator floor_cal([](double) { return 1.0; });
+  EXPECT_THROW(floor_cal.solve(0.5), std::runtime_error);
+}
+
+TEST(MseCalibrator, Fig3LevelsAreOrdered) {
+  for (int i = 1; i < 4; ++i) EXPECT_GT(kFig3MseLevels[i], kFig3MseLevels[i - 1]);
+  EXPECT_GE(kFig3MseLevels[0], 1e-4);
+  EXPECT_LE(kFig3MseLevels[3], 2.8e-3);
+  EXPECT_GT(kFig5MseLevel, 1.5e-3);
+  EXPECT_LT(kFig5MseLevel, 1.6e-3);
+}
+
+TEST(MseProbe, IdealTileHasTinyMse) {
+  cim::MseProbeOptions opts;
+  opts.k = 64;
+  opts.n = 64;
+  opts.t = 8;
+  const double mse = cim::feature_map_mse(cim::TileConfig::ideal(), opts);
+  EXPECT_LT(mse, 1e-10);
+}
+
+TEST(MseProbe, MseMonotoneInOutNoise) {
+  cim::MseProbeOptions opts;
+  opts.k = 64;
+  opts.n = 64;
+  opts.t = 8;
+  double prev = 0.0;
+  for (const float sigma : {0.01f, 0.04f, 0.16f}) {
+    const double mse =
+        cim::feature_map_mse(cim::TileConfig::ideal_except_out_noise(sigma), opts);
+    EXPECT_GT(mse, prev);
+    prev = mse;
+  }
+}
+
+TEST(MseProbe, CalibratesOutNoiseToTarget) {
+  cim::MseProbeOptions opts;
+  opts.k = 64;
+  opts.n = 64;
+  opts.t = 8;
+  const MseCalibrator cal(cim::mse_of_knob(
+      [](double p) {
+        return cim::TileConfig::ideal_except_out_noise(static_cast<float>(p));
+      },
+      opts));
+  const double target = 1.55e-3;
+  const double sigma = cal.solve(target);
+  const double achieved = cim::feature_map_mse(
+      cim::TileConfig::ideal_except_out_noise(static_cast<float>(sigma)), opts);
+  EXPECT_NEAR(achieved / target, 1.0, 0.1);
+}
+
+TEST(MseProbe, CalibratesIrDropToTarget) {
+  cim::MseProbeOptions opts;
+  opts.k = 64;
+  opts.n = 64;
+  opts.t = 8;
+  const MseCalibrator cal(cim::mse_of_knob(
+      [](double p) {
+        return cim::TileConfig::ideal_except_ir_drop(static_cast<float>(p));
+      },
+      opts));
+  const double sigma = cal.solve(1e-3);
+  EXPECT_GT(sigma, 0.0);
+}
+
+}  // namespace
+}  // namespace nora::noise

@@ -1,0 +1,106 @@
+// Tests for the DAC/ADC uniform quantizer, including a parameterized
+// sweep over converter bit widths (the paper's in_res/out_res knobs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "noise/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace nora::noise {
+namespace {
+
+TEST(Quantizer, IdealPassthrough) {
+  const auto q = UniformQuantizer::ideal();
+  EXPECT_FALSE(q.enabled());
+  EXPECT_EQ(q.quantize(0.12345f), 0.12345f);
+  EXPECT_FALSE(q.saturates(100.0f));
+}
+
+TEST(Quantizer, FromBitsStepCount) {
+  const auto q = UniformQuantizer::from_bits(7, 1.0f);
+  EXPECT_EQ(q.steps(), 128);  // Table II: 7 bit = 128 steps
+  EXPECT_FLOAT_EQ(q.step_size(), 2.0f / 128.0f);
+  EXPECT_FALSE(UniformQuantizer::from_bits(0, 1.0f).enabled());
+}
+
+TEST(Quantizer, SaturatesAtBound) {
+  const UniformQuantizer q(128, 1.0f);
+  EXPECT_FLOAT_EQ(q.quantize(5.0f), 1.0f);
+  EXPECT_FLOAT_EQ(q.quantize(-5.0f), -1.0f);
+  EXPECT_TRUE(q.saturates(1.5f));
+  EXPECT_TRUE(q.saturates(-1.0f));
+  EXPECT_FALSE(q.saturates(0.5f));
+}
+
+TEST(Quantizer, ZeroMapsToZero) {
+  const UniformQuantizer q(128, 1.0f);
+  EXPECT_FLOAT_EQ(q.quantize(0.0f), 0.0f);
+}
+
+TEST(Quantizer, RoundsToNearestLevel) {
+  const UniformQuantizer q(4, 1.0f);  // levels at -1, -0.5, 0, 0.5, 1
+  EXPECT_FLOAT_EQ(q.quantize(0.3f), 0.5f);
+  EXPECT_FLOAT_EQ(q.quantize(0.2f), 0.0f);
+  EXPECT_FLOAT_EQ(q.quantize(-0.74f), -0.5f);
+  EXPECT_FLOAT_EQ(q.quantize(-0.76f), -1.0f);
+}
+
+TEST(Quantizer, Idempotent) {
+  const UniformQuantizer q(128, 2.0f);
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const float x = static_cast<float>(rng.uniform(-3, 3));
+    const float once = q.quantize(x);
+    EXPECT_FLOAT_EQ(q.quantize(once), once);
+  }
+}
+
+TEST(Quantizer, Monotone) {
+  const UniformQuantizer q(16, 1.0f);
+  float prev = q.quantize(-2.0f);
+  for (float x = -2.0f; x <= 2.0f; x += 0.01f) {
+    const float y = q.quantize(x);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+TEST(Quantizer, ApplySpan) {
+  const UniformQuantizer q(2, 1.0f);  // levels -1, 0, 1
+  std::vector<float> xs{0.2f, 0.9f, -0.7f};
+  q.apply(xs);
+  EXPECT_FLOAT_EQ(xs[0], 0.0f);
+  EXPECT_FLOAT_EQ(xs[1], 1.0f);
+  EXPECT_FLOAT_EQ(xs[2], -1.0f);
+}
+
+TEST(Quantizer, InvalidArguments) {
+  EXPECT_THROW(UniformQuantizer(-1, 1.0f), std::invalid_argument);
+  EXPECT_THROW(UniformQuantizer(4, 0.0f), std::invalid_argument);
+  EXPECT_NO_THROW(UniformQuantizer(0, -5.0f));  // disabled: bound unused
+}
+
+// Property sweep: for b-bit conversion over [-1, 1], the worst-case
+// rounding error of in-range values is half a step, and the RMS error of
+// uniform inputs shrinks ~2x per extra bit.
+class QuantizerBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerBitsSweep, ErrorBoundedByHalfStep) {
+  const int bits = GetParam();
+  const auto q = UniformQuantizer::from_bits(bits, 1.0f);
+  util::Rng rng(bits);
+  double max_err = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1, 1));
+    max_err = std::max(max_err, std::fabs(double(q.quantize(x)) - x));
+  }
+  EXPECT_LE(max_err, q.step_size() / 2.0 + 1e-6);
+  EXPECT_GT(max_err, q.step_size() / 8.0);  // bound is near-tight
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizerBitsSweep, ::testing::Values(3, 5, 7, 9));
+
+}  // namespace
+}  // namespace nora::noise

@@ -1,0 +1,133 @@
+// Tests for the SynthLambada dataset generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/synthlambada.hpp"
+
+namespace nora::eval {
+namespace {
+
+TEST(SynthLambada, DeterministicPerSplitAndIndex) {
+  const SynthLambada task;
+  const auto a = task.make_example("test", 5);
+  const auto b = task.make_example("test", 5);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.answer, b.answer);
+  const auto c = task.make_example("test", 6);
+  EXPECT_NE(a.tokens, c.tokens);
+  const auto d = task.make_example("calib", 5);
+  EXPECT_NE(a.tokens, d.tokens);  // splits are disjoint streams
+}
+
+TEST(SynthLambada, StructureInvariants) {
+  SynthLambadaConfig cfg;
+  cfg.n_queries = 4;
+  const SynthLambada task(cfg);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto ex = task.make_example("train", i);
+    ASSERT_EQ(static_cast<int>(ex.tokens.size()), cfg.seq_len);
+    EXPECT_EQ(ex.tokens[0], cfg.bos());
+    // All tokens in vocab range.
+    for (int t : ex.tokens) {
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, cfg.vocab_size());
+    }
+    // Final two tokens: QUERY then a key; answer is a value token.
+    const int t_last = ex.tokens.back();
+    EXPECT_EQ(ex.tokens[ex.tokens.size() - 2], cfg.query());
+    EXPECT_GE(t_last, cfg.key_id(0));
+    EXPECT_LT(t_last, cfg.key_id(cfg.n_keys));
+    EXPECT_GE(ex.answer, cfg.val_id(0));
+    EXPECT_LT(ex.answer, cfg.val_id(cfg.n_vals));
+    // The final position is supervised at full weight with the answer.
+    EXPECT_EQ(ex.targets.back(), ex.answer);
+    EXPECT_EQ(ex.weights.back(), 1.0f);
+  }
+}
+
+TEST(SynthLambada, AnswerIsGroundedInContext) {
+  // The queried key occurs in the body, immediately followed by the
+  // answer value (the retrieval is well-posed).
+  const SynthLambada task;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto ex = task.make_example("test", i);
+    const int key = ex.tokens.back();
+    bool found = false;
+    for (std::size_t t = 1; t + 1 < ex.tokens.size() - 2; ++t) {
+      if (ex.tokens[t] == key && ex.tokens[t + 1] == ex.answer) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "example " << i;
+  }
+}
+
+TEST(SynthLambada, FixedSlotsPlacePairsAtLeadingPositions) {
+  SynthLambadaConfig cfg;  // fixed_slots = true by default
+  const SynthLambada task(cfg);
+  const auto ex = task.make_example("test", 3);
+  for (int k = 0; k < cfg.n_pairs; ++k) {
+    const int key_pos = 1 + 2 * k;
+    EXPECT_GE(ex.tokens[static_cast<std::size_t>(key_pos)], cfg.key_id(0));
+    EXPECT_LT(ex.tokens[static_cast<std::size_t>(key_pos)],
+              cfg.key_id(cfg.n_keys));
+    EXPECT_GE(ex.tokens[static_cast<std::size_t>(key_pos) + 1], cfg.val_id(0));
+    EXPECT_LT(ex.tokens[static_cast<std::size_t>(key_pos) + 1],
+              cfg.val_id(cfg.n_vals));
+  }
+}
+
+TEST(SynthLambada, RandomSlotsVaryKeyPositions) {
+  SynthLambadaConfig cfg;
+  cfg.fixed_slots = false;
+  const SynthLambada task(cfg);
+  std::set<std::size_t> first_key_positions;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto ex = task.make_example("train", i);
+    for (std::size_t t = 1; t < ex.tokens.size() - 2; ++t) {
+      if (ex.tokens[t] >= cfg.key_id(0) && ex.tokens[t] < cfg.key_id(cfg.n_keys)) {
+        first_key_positions.insert(t);
+        break;
+      }
+    }
+  }
+  EXPECT_GT(first_key_positions.size(), 3u);
+}
+
+TEST(SynthLambada, AuxWeightAddsNextTokenTargets) {
+  SynthLambadaConfig cfg;
+  cfg.aux_weight = 0.1f;
+  const SynthLambada task(cfg);
+  const auto ex = task.make_example("train", 1);
+  // Early positions carry next-token targets at the aux weight.
+  EXPECT_EQ(ex.targets[0], ex.tokens[1]);
+  EXPECT_FLOAT_EQ(ex.weights[0], 0.1f);
+}
+
+TEST(SynthLambada, CalibrationSetShapes) {
+  const SynthLambada task;
+  const auto calib = task.calibration_set(7);
+  EXPECT_EQ(calib.size(), 7u);
+  for (const auto& seq : calib) {
+    EXPECT_EQ(static_cast<int>(seq.size()), task.config().seq_len);
+  }
+}
+
+TEST(SynthLambada, ValidatesConfig) {
+  SynthLambadaConfig tiny;
+  tiny.seq_len = 5;
+  tiny.n_pairs = 3;
+  EXPECT_THROW(SynthLambada{tiny}, std::invalid_argument);
+  SynthLambadaConfig bad_pairs;
+  bad_pairs.n_pairs = bad_pairs.n_keys + 1;
+  bad_pairs.seq_len = 128;
+  EXPECT_THROW(SynthLambada{bad_pairs}, std::invalid_argument);
+  SynthLambadaConfig bad_queries;
+  bad_queries.n_queries = 0;
+  EXPECT_THROW(SynthLambada{bad_queries}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nora::eval

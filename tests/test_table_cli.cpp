@@ -1,0 +1,78 @@
+// Tests for the console-table writer and CLI parser used by the bench
+// harness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace nora::util {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 2.5   |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.8799), "87.99");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RejectsBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, WriteCsvCreatesParentDirectories) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const auto dir = std::filesystem::temp_directory_path() / "nora_table_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "sub" / "out.csv").string();
+  t.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, ParsesKeysFlagsAndTypes) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--steps=200", "--verbose",
+                        "--name=opt", "--off=false"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.has("alpha"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 0.5);
+  EXPECT_EQ(cli.get_int("steps", 0), 200);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_FALSE(cli.get_flag("off", true));
+  EXPECT_EQ(cli.get("name", ""), "opt");
+  EXPECT_EQ(cli.get_int("absent", 7), 7);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nora::util

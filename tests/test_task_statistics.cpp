@@ -1,0 +1,80 @@
+// Statistical properties of the SynthLambada generator — guards against
+// degenerate task distributions that would make accuracy numbers
+// meaningless (e.g. a biased answer marginal that a majority-class
+// predictor could exploit).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "eval/synthlambada.hpp"
+
+namespace nora::eval {
+namespace {
+
+TEST(TaskStatistics, AnswerMarginalIsRoughlyUniform) {
+  const SynthLambada task;
+  const auto& cfg = task.config();
+  std::map<int, int> counts;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    counts[task.make_example("train", static_cast<std::uint64_t>(i)).answer]++;
+  }
+  EXPECT_EQ(static_cast<int>(counts.size()), cfg.n_vals);
+  const double expected = static_cast<double>(n) / cfg.n_vals;
+  for (const auto& [val, count] : counts) {
+    EXPECT_GT(count, 0.5 * expected) << "value " << val;
+    EXPECT_LT(count, 1.7 * expected) << "value " << val;
+  }
+}
+
+TEST(TaskStatistics, QueriedKeyVariesAcrossExamples) {
+  const SynthLambada task;
+  std::set<int> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.insert(task.make_example("test", static_cast<std::uint64_t>(i)).tokens.back());
+  }
+  // Fixed-slot layout uses the first n_pairs slot keys; all should occur.
+  EXPECT_EQ(static_cast<int>(keys.size()), task.config().n_pairs);
+}
+
+TEST(TaskStatistics, ValuesIndependentAcrossExamples) {
+  // The answer must not be predictable from the key alone: the same
+  // queried key maps to many different values across examples.
+  const SynthLambada task;
+  std::map<int, std::set<int>> values_per_key;
+  for (int i = 0; i < 500; ++i) {
+    const auto ex = task.make_example("train", static_cast<std::uint64_t>(i));
+    values_per_key[ex.tokens.back()].insert(ex.answer);
+  }
+  for (const auto& [key, values] : values_per_key) {
+    EXPECT_GT(values.size(), 5u) << "key " << key;
+  }
+}
+
+TEST(TaskStatistics, SplitsProduceDisjointExampleStreams) {
+  const SynthLambada task;
+  int identical = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = task.make_example("train", static_cast<std::uint64_t>(i));
+    const auto b = task.make_example("test", static_cast<std::uint64_t>(i));
+    identical += a.tokens == b.tokens;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(TaskStatistics, SeedChangesTheWholeDataset) {
+  SynthLambadaConfig a_cfg;
+  SynthLambadaConfig b_cfg;
+  b_cfg.seed = a_cfg.seed + 1;
+  const SynthLambada a(a_cfg), b(b_cfg);
+  int identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    identical += a.make_example("train", static_cast<std::uint64_t>(i)).tokens ==
+                 b.make_example("train", static_cast<std::uint64_t>(i)).tokens;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+}  // namespace
+}  // namespace nora::eval

@@ -1,0 +1,126 @@
+// Tests for the synthetic model zoo: family specs, outlier planting, and
+// gain compensation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "model/zoo.hpp"
+#include "tensor/ops.hpp"
+
+namespace nora::model {
+namespace {
+
+TEST(Families, AllSpecsAreWellFormed) {
+  for (const auto& name : all_models()) {
+    const ModelSpec spec = spec_by_name(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_EQ(spec.arch.d_model % spec.arch.n_heads, 0) << name;
+    EXPECT_EQ(spec.arch.vocab_size, spec.task.vocab_size()) << name;
+    EXPECT_EQ(spec.arch.max_seq, spec.task.seq_len) << name;
+    EXPECT_GT(spec.outliers.fraction, 0.0f) << name;
+    EXPECT_GE(spec.outliers.amp_hi, spec.outliers.amp_lo) << name;
+    EXPECT_GT(spec.train.target_accuracy, 0.7) << name;
+  }
+  EXPECT_THROW(spec_by_name("gpt-5-sim"), std::invalid_argument);
+}
+
+TEST(Families, FamilyArchitectureConventions) {
+  // OPT-like: LayerNorm + GELU; LLaMA/Mistral-like: RMSNorm + SiLU-gated.
+  for (const auto& name : opt_family()) {
+    const ModelSpec s = spec_by_name(name);
+    EXPECT_EQ(s.arch.norm_kind, nn::NormKind::kLayerNorm) << name;
+    EXPECT_EQ(s.arch.mlp_kind, nn::MlpKind::kGelu) << name;
+  }
+  for (const auto& name : other_family()) {
+    const ModelSpec s = spec_by_name(name);
+    EXPECT_EQ(s.arch.norm_kind, nn::NormKind::kRmsNorm) << name;
+    EXPECT_EQ(s.arch.mlp_kind, nn::MlpKind::kSiluGated) << name;
+  }
+  // OPT sizes are ordered (the scaled-down analog of 1.3b < 2.7b < ...).
+  std::int64_t prev = 0;
+  for (const auto& name : opt_family()) {
+    const auto count = spec_by_name(name).arch.param_count();
+    EXPECT_GT(count, prev) << name;
+    prev = count;
+  }
+}
+
+TEST(PlantedGains, CountAmplitudeAndDeterminism) {
+  OutlierSpec spec;
+  spec.fraction = 0.1f;
+  spec.amp_lo = 10.0f;
+  spec.amp_hi = 20.0f;
+  spec.seed = 7;
+  const auto g1 = planted_gains(64, spec);
+  const auto g2 = planted_gains(64, spec);
+  EXPECT_EQ(g1, g2);
+  int outliers = 0;
+  for (float g : g1) {
+    if (g != 1.0f) {
+      ++outliers;
+      EXPECT_GE(g, 10.0f);
+      EXPECT_LE(g, 20.0f);
+    }
+  }
+  EXPECT_EQ(outliers, 6);  // floor(64 * 0.1)
+  spec.seed = 8;
+  EXPECT_NE(planted_gains(64, spec), g1);
+  OutlierSpec none;
+  for (float g : planted_gains(16, none)) EXPECT_EQ(g, 1.0f);
+}
+
+TEST(CompensatePlantedGains, NeutralizesGainAtInit) {
+  // With compensation, the function computed at init equals (up to fp)
+  // the function of an unplanted twin: gains cancel in norm->linear.
+  eval::SynthLambadaConfig task_cfg;
+  nn::TransformerConfig planted;
+  planted.vocab_size = task_cfg.vocab_size();
+  planted.d_model = 16;
+  planted.n_layers = 2;
+  planted.n_heads = 2;
+  planted.d_ff = 32;
+  planted.max_seq = task_cfg.seq_len;
+  planted.norm_gain = std::vector<float>(16, 1.0f);
+  planted.norm_gain[2] = 12.0f;
+  planted.norm_gain[9] = 25.0f;
+  nn::TransformerConfig plain = planted;
+  plain.norm_gain.clear();
+  nn::TransformerLM planted_model(planted);
+  compensate_planted_gains(planted_model);
+  nn::TransformerLM plain_model(plain);
+  const std::vector<int> tokens{1, 2, 3, 4, 5, 6};
+  const Matrix a = planted_model.forward(tokens);
+  const Matrix b = plain_model.forward(tokens);
+  const double rel = std::sqrt(ops::mse(a, b)) /
+                     (ops::frobenius_norm(b) / std::sqrt(double(b.size())));
+  EXPECT_LT(rel, 1e-4);
+}
+
+TEST(Zoo, TrainsTinyModelAndCaches) {
+  // A micro spec trains in a few seconds and exercises the full
+  // train -> save -> load path.
+  const auto tmp = std::filesystem::temp_directory_path() / "nora_zoo_test";
+  std::filesystem::remove_all(tmp);
+  setenv("NORA_CACHE_DIR", tmp.c_str(), 1);
+  ModelSpec spec = spec_by_name("opt-1.3b-sim");
+  spec.name = "micro-test";
+  spec.arch.d_model = 32;
+  spec.arch.d_ff = 64;
+  spec.arch.n_layers = 1;
+  spec.train.steps = 400;
+  spec.train.eval_every = 50;
+  spec.train.target_accuracy = 0.6;
+  spec.train.verbose = false;
+  auto m1 = get_or_train(spec, /*verbose=*/false);
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path(spec)));
+  auto m2 = get_or_train(spec, /*verbose=*/false);  // loads from cache
+  const eval::SynthLambada task(spec.task);
+  const auto ex = task.make_example("test", 0);
+  EXPECT_EQ(ops::mse(m1->forward(ex.tokens), m2->forward(ex.tokens)), 0.0);
+  unsetenv("NORA_CACHE_DIR");
+  std::filesystem::remove_all(tmp);
+}
+
+}  // namespace
+}  // namespace nora::model

@@ -1,0 +1,34 @@
+// Train (or load) every model in the zoo and print a summary — a
+// convenience for warming the checkpoint cache before a bench sweep.
+//
+//   ./train_zoo [--examples=128]
+#include <cstdio>
+
+#include "eval/evaluator.hpp"
+#include "model/zoo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 128));
+  util::Table table({"model", "params", "layers", "d_model",
+                     "fp32 SynthLambada acc (%)"});
+  for (const auto& name : model::all_models()) {
+    const model::ModelSpec spec = model::spec_by_name(name);
+    auto m = model::get_or_train(spec);
+    const eval::SynthLambada task(spec.task);
+    eval::EvalOptions eo;
+    eo.n_examples = n_examples;
+    const auto r = eval::evaluate(*m, task, eo);
+    table.add_row({name, std::to_string(spec.arch.param_count()),
+                   std::to_string(spec.arch.n_layers),
+                   std::to_string(spec.arch.d_model),
+                   util::Table::pct(r.accuracy)});
+  }
+  std::printf("\n");
+  table.print("model zoo:");
+  return 0;
+}
