@@ -1,0 +1,97 @@
+// Hard-fault ablation: accuracy vs device fault rate for naive vs NORA
+// mappings, with and without the fault-tolerance machinery (spare-column
+// remapping, program-verify-reprogram, per-layer health check with
+// digital fallback).
+//
+// The paper's noise model assumes every device works; this bench asks
+// the question it leaves open — does NORA's rescaling survive *hard*
+// faults (stuck-at devices, dead bitlines, yield loss), and how much of
+// the loss does architectural repair claw back?
+//
+// At each fault rate r the device fault mix is 80% stuck-at-zero / 20%
+// stuck-at-gmax plus a dead-bitline rate of r/4; the "repair" columns
+// enable 16 spare columns per tile, 3 program-verify retries, and the
+// health policy (fault-density + ADC-saturation thresholds + non-finite
+// guard) that degrades unsalvageable layers to the digital path.
+//
+//   ./ablation_faults [--examples=N] [--model=name]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nora;
+
+namespace {
+
+core::DeployOptions make_opts(double rate, bool nora, float lambda,
+                              bool repair) {
+  core::DeployOptions opts;
+  opts.tile = cim::TileConfig::paper_table2();
+  opts.tile.faults.stuck_zero_rate = static_cast<float>(0.8 * rate);
+  opts.tile.faults.stuck_gmax_rate = static_cast<float>(0.2 * rate);
+  opts.tile.faults.dead_col_rate = static_cast<float>(rate / 4.0);
+  opts.nora.enabled = nora;
+  opts.nora.lambda = lambda;
+  if (repair) {
+    opts.tile.spare_cols = 16;
+    opts.tile.spare_remap_threshold = 0.05f;
+    opts.tile.max_program_retries = 3;
+    opts.health.enabled = true;
+    opts.health.max_residual_fault_fraction = 0.05f;
+    opts.health.max_adc_saturation_rate = 0.5f;
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n_examples = static_cast<int>(cli.get_int("examples", 96));
+  const std::string m = cli.get("model", "opt-1.3b-sim");
+  const float lambda = 0.5f;
+
+  const auto fp = bench::eval_digital(m, n_examples);
+  std::printf("Hard-fault ablation, model %s (fp32 %.2f%%, %d examples)\n\n",
+              m.c_str(), 100.0 * fp.accuracy, n_examples);
+
+  util::Table t({"fault rate", "naive (%)", "naive+repair (%)", "NORA (%)",
+                 "NORA+repair (%)", "fallback layers"});
+  faults::DeploymentReport last_report;
+  for (const double rate : {0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05}) {
+    const auto naive =
+        bench::eval_analog_deploy(m, make_opts(rate, false, lambda, false),
+                                  n_examples);
+    faults::DeploymentReport rep_naive;
+    const auto naive_rep =
+        bench::eval_analog_deploy(m, make_opts(rate, false, lambda, true),
+                                  n_examples, &rep_naive);
+    const auto nora =
+        bench::eval_analog_deploy(m, make_opts(rate, true, lambda, false),
+                                  n_examples);
+    faults::DeploymentReport rep_nora;
+    const auto nora_rep =
+        bench::eval_analog_deploy(m, make_opts(rate, true, lambda, true),
+                                  n_examples, &rep_nora);
+    t.add_row({util::Table::num(rate, 4), util::Table::pct(naive.accuracy),
+               util::Table::pct(naive_rep.accuracy),
+               util::Table::pct(nora.accuracy),
+               util::Table::pct(nora_rep.accuracy),
+               std::to_string(rep_naive.digital_fallbacks()) + " / " +
+                   std::to_string(rep_nora.digital_fallbacks())});
+    last_report = rep_nora;
+  }
+  t.print("accuracy vs device fault rate (repair = spares + reprogram + "
+          "health fallback; fallbacks: naive / NORA):");
+  t.write_csv("results/ablation_faults.csv");
+
+  std::printf("\nNORA+repair deployment report at the highest fault rate:\n%s",
+              last_report.to_string().c_str());
+  std::printf("\nshape check: accuracy decays monotonically with fault rate; "
+              "repair holds accuracy at moderate rates; at extreme rates the "
+              "health check degrades layers to digital instead of emitting "
+              "garbage.\n");
+  return 0;
+}

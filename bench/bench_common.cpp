@@ -79,14 +79,21 @@ DeployedEval eval_digital(const std::string& model_name, int n_examples) {
 DeployedEval eval_analog(const std::string& model_name,
                          const cim::TileConfig& tile, bool nora, float lambda,
                          int n_examples) {
-  const model::ModelSpec spec = model::spec_by_name(model_name);
-  auto model = model::get_or_train(spec, /*verbose=*/false);
-  const eval::SynthLambada task(spec.task);
   core::DeployOptions opts;
   opts.tile = tile;
   opts.nora.enabled = nora;
   opts.nora.lambda = lambda;
-  core::deploy_analog(*model, task, opts);
+  return eval_analog_deploy(model_name, opts, n_examples);
+}
+
+DeployedEval eval_analog_deploy(const std::string& model_name,
+                                const core::DeployOptions& opts,
+                                int n_examples,
+                                faults::DeploymentReport* report) {
+  const model::ModelSpec spec = model::spec_by_name(model_name);
+  auto model = model::get_or_train(spec, /*verbose=*/false);
+  const eval::SynthLambada task(spec.task);
+  core::deploy_analog(*model, task, opts, report);
   eval::EvalOptions eo;
   eo.n_examples = n_examples;
   const auto r = eval::evaluate(*model, task, eo);

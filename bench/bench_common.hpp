@@ -47,6 +47,14 @@ DeployedEval eval_analog(const std::string& model_name,
                          const cim::TileConfig& tile, bool nora,
                          float lambda, int n_examples);
 
+/// Fully-configurable variant: deploys under `opts` (including any
+/// fault-tolerance HealthPolicy) and optionally fills a per-layer
+/// deployment report. Used by the fault-injection bench.
+DeployedEval eval_analog_deploy(const std::string& model_name,
+                                const core::DeployOptions& opts,
+                                int n_examples,
+                                faults::DeploymentReport* report = nullptr);
+
 /// Shared CLI defaults for the bench binaries.
 struct BenchOptions {
   int n_examples = 96;

@@ -32,7 +32,14 @@ AnalogMatmul::AnalogMatmul(const Matrix& w, std::vector<float> s,
     const float sk = s_[static_cast<std::size_t>(k)];
     for (auto& v : row) v *= sk;
   }
-  const std::int64_t tr = cfg_.tile_rows, tc = cfg_.tile_cols;
+  // Spare columns are reserved out of each physical tile, shrinking its
+  // logical capacity.
+  if (cfg_.spare_cols < 0 || cfg_.spare_cols >= cfg_.tile_cols) {
+    throw std::invalid_argument(
+        "AnalogMatmul: spare_cols must be in [0, tile_cols)");
+  }
+  const std::int64_t tr = cfg_.tile_rows;
+  const std::int64_t tc = cfg_.tile_cols - cfg_.spare_cols;
   int tile_id = 0;
   for (std::int64_t k0 = 0; k0 < k_; k0 += tr) {
     RowBlock block;
@@ -155,6 +162,16 @@ Matrix AnalogMatmul::forward(const Matrix& x) {
       ++stats_.alpha_count;
       for (std::int64_t j = 0; j < n_; ++j) yrow[j] += y_block[static_cast<std::size_t>(j)];
     }
+    // Non-finite guard: a NaN/Inf here would silently poison every
+    // downstream layer; fail loudly, naming the offender instead.
+    for (std::int64_t j = 0; j < n_; ++j) {
+      if (!std::isfinite(yrow[j])) {
+        throw std::runtime_error(
+            "AnalogMatmul[" + (label_.empty() ? "?" : label_) +
+            "]: non-finite output at token " + std::to_string(t) +
+            ", column " + std::to_string(j));
+      }
+    }
   }
   return y;
 }
@@ -197,6 +214,26 @@ std::int64_t AnalogMatmul::adc_saturations() const {
   return n;
 }
 
-void AnalogMatmul::reset_stats() { stats_ = ArrayStats{}; }
+double AnalogMatmul::adc_saturation_rate() const {
+  const std::int64_t reads = adc_reads();
+  return reads > 0
+             ? static_cast<double>(adc_saturations()) / static_cast<double>(reads)
+             : 0.0;
+}
+
+void AnalogMatmul::reset_stats() {
+  stats_ = ArrayStats{};
+  for (auto& block : blocks_) {
+    for (auto& tile : block.tiles) tile->reset_stats();
+  }
+}
+
+faults::ArrayFaultStats AnalogMatmul::fault_stats() const {
+  faults::ArrayFaultStats agg;
+  for (const auto& block : blocks_) {
+    for (const auto& tile : block.tiles) agg.accumulate(tile->fault_stats());
+  }
+  return agg;
+}
 
 }  // namespace nora::cim

@@ -13,10 +13,12 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cim/analog_tile.hpp"
 #include "cim/tile_config.hpp"
+#include "faults/repair.hpp"
 #include "noise/quantizer.hpp"
 #include "noise/sshape.hpp"
 #include "tensor/matrix.hpp"
@@ -54,9 +56,15 @@ class AnalogMatmul {
   const TileConfig& config() const { return cfg_; }
   std::span<const float> s() const { return s_; }
 
+  /// Label used in diagnostics/errors (typically the owning layer name).
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
   /// x: [T x K] activations. Returns [T x N]. Consumes randomness from
   /// the internal stream (deterministic given construction seed and
-  /// call sequence).
+  /// call sequence). Throws std::runtime_error naming the layer label,
+  /// token and column if any output is NaN/Inf — non-finite values must
+  /// not propagate silently into the rest of the transformer.
   Matrix forward(const Matrix& x);
 
   /// PCM drift: re-read all tiles t seconds after programming.
@@ -74,7 +82,14 @@ class AnalogMatmul {
   const ArrayStats& stats() const { return stats_; }
   std::int64_t adc_reads() const;
   std::int64_t adc_saturations() const;
+  /// Fraction of ADC reads that saturated (0 when nothing was read).
+  double adc_saturation_rate() const;
+  /// Clears the array stats and every per-tile ADC counter.
   void reset_stats();
+
+  /// Program-time fault/repair statistics aggregated over all tiles
+  /// (all zeros for a fault-free configuration).
+  faults::ArrayFaultStats fault_stats() const;
 
  private:
   struct RowBlock {
@@ -89,6 +104,7 @@ class AnalogMatmul {
                  std::span<float> y);
 
   TileConfig cfg_;
+  std::string label_;
   std::int64_t k_ = 0, n_ = 0;
   std::vector<float> s_;
   std::vector<RowBlock> blocks_;

@@ -1,6 +1,7 @@
 #include "cim/analog_tile.hpp"
 
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace nora::cim {
@@ -50,9 +51,108 @@ AnalogTile::AnalogTile(const Matrix& w_slice, const TileConfig& cfg,
     float* p = w_hat_t_.data();
     for (std::int64_t i = 0; i < w_hat_t_.size(); ++i) p[i] = grid.quantize(p[i]);
   }
+  // Hard faults: sampled over the physical geometry (logical columns
+  // plus spares) from a dedicated child stream, so fault-free configs
+  // leave every existing RNG stream untouched.
+  if (cfg_.spare_cols < 0) {
+    throw std::invalid_argument("AnalogTile: spare_cols must be >= 0");
+  }
+  const std::int64_t phys_cols = cols_ + cfg_.spare_cols;
+  fault_stats_.devices = rows_ * cols_;
+  fault_stats_.physical_devices = rows_ * phys_cols;
+  fault_stats_.spare_cols = cfg_.spare_cols;
+  phys_col_.resize(static_cast<std::size_t>(cols_));
+  std::iota(phys_col_.begin(), phys_col_.end(), std::int64_t{0});
+  if (cfg_.faults.any()) {
+    util::Rng fault_rng = rng.split("faults");
+    fault_map_ =
+        faults::FaultMap::sample(rows_, phys_cols, cfg_.faults, fault_rng);
+    fault_stats_.faulty_devices = fault_map_.faulty_total();
+    fault_stats_.stuck_zero = fault_map_.stuck_zero_count();
+    fault_stats_.stuck_gmax = fault_map_.stuck_gmax_count();
+    fault_stats_.dead_rows = fault_map_.dead_rows();
+    fault_stats_.dead_cols = fault_map_.dead_cols();
+    fault_stats_.tile_dead = fault_map_.tile_dead();
+    // Spare-column remap: move the worst logical columns onto the
+    // cleanest spares (a remap must strictly improve the column).
+    if (cfg_.spare_cols > 0 && !fault_map_.tile_dead()) {
+      std::vector<bool> spare_used(static_cast<std::size_t>(cfg_.spare_cols),
+                                   false);
+      for (std::int64_t j = 0; j < cols_; ++j) {
+        const double density = fault_map_.column_fault_fraction(j);
+        if (density <= cfg_.spare_remap_threshold) continue;
+        std::int64_t best = -1;
+        double best_density = density;
+        for (std::int64_t sp = 0; sp < cfg_.spare_cols; ++sp) {
+          if (spare_used[static_cast<std::size_t>(sp)]) continue;
+          const double d = fault_map_.column_fault_fraction(cols_ + sp);
+          if (d < best_density) {
+            best = sp;
+            best_density = d;
+          }
+        }
+        if (best >= 0) {
+          spare_used[static_cast<std::size_t>(best)] = true;
+          phys_col_[static_cast<std::size_t>(j)] = cols_ + best;
+          ++fault_stats_.cols_remapped;
+        }
+      }
+    }
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      fault_stats_.residual_faulty +=
+          fault_map_.faulty_in_column(phys_col_[static_cast<std::size_t>(j)]);
+    }
+  }
+
   const noise::ProgrammingNoise prog(cfg_.prog_noise_scale);
+  // Keep the targets around only if the verify loop needs them.
+  const bool verify = cfg_.max_program_retries > 0 && prog.enabled();
+  std::vector<float> targets;
+  if (verify) {
+    targets.assign(w_hat_t_.data(), w_hat_t_.data() + w_hat_t_.size());
+  }
   util::Rng prog_rng = rng.split("programming");
   prog.apply(w_hat_t_, prog_rng, cfg_.write_verify_iters);
+  force_faults(w_hat_t_);
+  if (verify) {
+    // Program-verify-reprogram [Mackin'22-style closed loop]: read each
+    // device back, and while it is outside the acceptance band, issue
+    // another programming attempt. Stuck devices never converge — they
+    // burn their retry budget and are recorded as verify failures.
+    util::Rng verify_rng = rng.split("verify");
+    float* p = w_hat_t_.data();
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      const std::int64_t pc = phys_col_[static_cast<std::size_t>(j)];
+      for (std::int64_t k = 0; k < rows_; ++k) {
+        const std::int64_t i = j * rows_ + k;
+        const bool stuck =
+            !fault_map_.empty() &&
+            fault_map_.at(pc, k) != faults::DeviceFault::kNone;
+        if (stuck) {
+          fault_stats_.reprogram_rounds += cfg_.max_program_retries;
+          if (std::fabs(p[i] - targets[static_cast<std::size_t>(i)]) >
+              cfg_.program_tolerance) {
+            ++fault_stats_.verify_failures;
+          }
+          continue;
+        }
+        const float target = targets[static_cast<std::size_t>(i)];
+        int r = 0;
+        while (std::fabs(p[i] - target) > cfg_.program_tolerance &&
+               r < cfg_.max_program_retries) {
+          p[i] = target + prog.correct(p[i] - target, target, verify_rng);
+          ++r;
+        }
+        if (r > 0) {
+          ++fault_stats_.reprogram_devices;
+          fault_stats_.reprogram_rounds += r;
+        }
+        if (std::fabs(p[i] - target) > cfg_.program_tolerance) {
+          ++fault_stats_.verify_failures;
+        }
+      }
+    }
+  }
   if (cfg_.drift_enabled) {
     util::Rng drift_rng = rng.split("drift");
     drift_nu_t_ = drift_.sample_exponents(cols_, rows_, drift_rng);
@@ -60,10 +160,26 @@ AnalogTile::AnalogTile(const Matrix& w_slice, const TileConfig& cfg,
   w_hat_t_effective_ = w_hat_t_;
 }
 
+void AnalogTile::force_faults(Matrix& w_hat_t) const {
+  if (fault_map_.empty()) return;
+  for (std::int64_t j = 0; j < cols_; ++j) {
+    fault_map_.apply_to_column(phys_col_[static_cast<std::size_t>(j)],
+                               w_hat_t.row(j));
+  }
+}
+
+void AnalogTile::reset_stats() {
+  adc_reads_ = 0;
+  adc_saturations_ = 0;
+}
+
 void AnalogTile::set_read_time(float t_seconds) {
   w_hat_t_effective_ = w_hat_t_;
   if (cfg_.drift_enabled && t_seconds > 0.0f) {
     drift_.apply(w_hat_t_effective_, drift_nu_t_, t_seconds);
+    // Stuck devices are pinned at their defect conductance; drift acts
+    // only on working devices.
+    force_faults(w_hat_t_effective_);
   }
 }
 

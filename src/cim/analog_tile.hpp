@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "cim/tile_config.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/repair.hpp"
 #include "noise/drift.hpp"
 #include "noise/ir_drop.hpp"
 #include "noise/programming.hpp"
@@ -33,8 +35,10 @@ namespace nora::cim {
 class AnalogTile {
  public:
   /// w_slice: logical weights [rows x cols] (any NORA rescale already
-  /// folded in by the caller). Programming noise and drift exponents are
-  /// sampled once here, at "program time".
+  /// folded in by the caller). Programming noise, drift exponents and
+  /// the hard-fault map are sampled once here, at "program time"; the
+  /// spare-column remap and program-verify-reprogram retry loop also run
+  /// here, recording their work in fault_stats().
   AnalogTile(const Matrix& w_slice, const TileConfig& cfg, util::Rng rng);
 
   std::int64_t rows() const { return rows_; }
@@ -53,11 +57,22 @@ class AnalogTile {
   /// as-programmed state.
   void set_read_time(float t_seconds);
 
-  /// ADC saturation statistics since construction.
+  /// ADC saturation statistics since construction or the last
+  /// reset_stats() call.
   std::int64_t adc_reads() const { return adc_reads_; }
   std::int64_t adc_saturations() const { return adc_saturations_; }
+  /// Zero the runtime (ADC) counters. Program-time fault/repair stats
+  /// are immutable facts about the tile and are not cleared.
+  void reset_stats();
+
+  /// Program-time fault and repair record (all zeros for a fault-free
+  /// configuration).
+  const faults::TileRepairStats& fault_stats() const { return fault_stats_; }
 
  private:
+  /// Force the stuck conductances of every mapped physical column.
+  void force_faults(Matrix& w_hat_t) const;
+
   TileConfig cfg_;
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
@@ -70,6 +85,9 @@ class AnalogTile {
   noise::IrDropModel ir_drop_;
   noise::PcmDriftModel drift_;
   std::vector<float> contrib_buf_;  // per-row contributions (IR-drop path)
+  faults::FaultMap fault_map_;            // physical [cols + spares] x rows
+  std::vector<std::int64_t> phys_col_;    // logical column -> physical column
+  faults::TileRepairStats fault_stats_;
   std::int64_t adc_reads_ = 0;
   std::int64_t adc_saturations_ = 0;
 };

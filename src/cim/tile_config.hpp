@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "faults/fault_model.hpp"
 #include "noise/drift.hpp"
 
 namespace nora::cim {
@@ -74,6 +75,24 @@ struct TileConfig {
   float ir_drop = 1.0f;          // IR-drop scale (Table II)
   noise::DriftConfig drift;      // PCM drift model parameters
   bool drift_enabled = false;    // drift only matters for the t > 0 ablation
+
+  // --- hard faults & repair (yield machinery; all off by default) ---
+  /// Stuck-at / dead-line / yield defects, sampled at program time from
+  /// the construction seed. A default FaultConfig samples nothing and
+  /// consumes no randomness (fault-free runs stay bit-identical).
+  faults::FaultConfig faults;
+  /// Spare columns reserved per physical tile for fault remapping; the
+  /// logical capacity of a tile shrinks to tile_cols - spare_cols.
+  int spare_cols = 0;
+  /// Column fault density above which a logical column is remapped onto
+  /// the cleanest available spare (only if the spare is cleaner).
+  float spare_remap_threshold = 0.05f;
+  /// Program-verify-reprogram: rounds of per-device readback + rewrite
+  /// for devices outside program_tolerance of their target. 0 disables
+  /// the loop entirely (and leaves RNG streams untouched).
+  int max_program_retries = 0;
+  /// Acceptance band for the verify readback, in normalized conductance.
+  float program_tolerance = 0.02f;
 
   // --- geometry / physics ---
   int tile_rows = 512;   // Table II tile_size

@@ -1,6 +1,7 @@
 #include "core/nora.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "tensor/stats.hpp"
@@ -51,19 +52,103 @@ std::vector<float> smoothing_vector(const LayerCalibration& cal, float lambda,
 
 std::vector<LayerCalibration> deploy_analog(nn::TransformerLM& model,
                                             const eval::SynthLambada& task,
-                                            const DeployOptions& opts) {
+                                            const DeployOptions& opts,
+                                            faults::DeploymentReport* report) {
   std::vector<LayerCalibration> cals;
   if (opts.nora.enabled) {
     cals = calibrate(model, task, opts.nora.calib_examples);
   }
   const auto linears = model.linear_layers();
+  std::vector<std::vector<float>> s_vecs(linears.size());
   for (std::size_t i = 0; i < linears.size(); ++i) {
-    std::vector<float> s;
     if (opts.nora.enabled) {
-      s = smoothing_vector(cals[i], opts.nora.lambda, opts.nora.s_min);
+      s_vecs[i] = smoothing_vector(cals[i], opts.nora.lambda, opts.nora.s_min);
     }
+  }
+  // Programming is deterministic given the layer seed, so a layer can be
+  // re-programmed at any time to restore its exact as-deployed state.
+  const auto program_layer = [&](std::size_t i) {
+    std::vector<float> s = s_vecs[i];
     linears[i]->to_analog(opts.tile, std::move(s),
                           util::derive_seed(opts.seed, linears[i]->name()));
+  };
+  for (std::size_t i = 0; i < linears.size(); ++i) program_layer(i);
+
+  if (report == nullptr && !opts.health.enabled) return cals;
+
+  faults::DeploymentReport local;
+  faults::DeploymentReport& rep = report != nullptr ? *report : local;
+  rep.layers.assign(linears.size(), faults::LayerReport{});
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    rep.layers[i].layer = linears[i]->name();
+    rep.layers[i].faults = linears[i]->analog()->fault_stats();
+  }
+  if (!opts.health.enabled) return cals;
+
+  const HealthPolicy& hp = opts.health;
+  const auto fall_back = [&](std::size_t i, std::string reason) {
+    linears[i]->to_digital();
+    rep.layers[i].analog = false;
+    rep.layers[i].reason = std::move(reason);
+  };
+  // (1) Structural check: a layer still riddled with faults after spare
+  // remapping is beyond repair — no point probing it.
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    const double f = rep.layers[i].faults.residual_fault_fraction();
+    if (f > hp.max_residual_fault_fraction) {
+      char why[96];
+      std::snprintf(why, sizeof why,
+                    "residual fault density %.4f exceeds %.4f", f,
+                    hp.max_residual_fault_fraction);
+      fall_back(i, why);
+    }
+  }
+  // (2) Probe forwards: catch non-finite outputs (the AnalogMatmul guard
+  // names the offending layer), degrading one layer per attempt.
+  const auto probe_set = task.calibration_set(hp.probe_examples);
+  for (std::size_t attempt = 0; attempt <= linears.size(); ++attempt) {
+    for (auto* lin : linears) {
+      if (lin->is_analog()) lin->analog()->reset_stats();
+    }
+    try {
+      for (const auto& tokens : probe_set) {
+        model.forward(tokens, /*training=*/false);
+      }
+      break;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      bool matched = false;
+      for (std::size_t i = 0; i < linears.size(); ++i) {
+        if (!linears[i]->is_analog()) continue;
+        if (what.find("AnalogMatmul[" + linears[i]->name() + "]") !=
+            std::string::npos) {
+          rep.layers[i].nonfinite_output = true;
+          fall_back(i, "non-finite output during health probe");
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) throw;  // not an analog-layer guard: genuine error
+    }
+  }
+  // (3) ADC saturation over the probe batch.
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    if (!linears[i]->is_analog()) continue;
+    const double rate = linears[i]->analog()->adc_saturation_rate();
+    rep.layers[i].adc_saturation_rate = rate;
+    if (rate > hp.max_adc_saturation_rate) {
+      char why[96];
+      std::snprintf(why, sizeof why,
+                    "ADC saturation rate %.3f exceeds %.3f", rate,
+                    hp.max_adc_saturation_rate);
+      fall_back(i, why);
+    }
+  }
+  // (4) Re-program the survivors from their original seeds so the probe
+  // leaves no trace in their noise streams: deployment with health
+  // checking produces the same analog state as deployment without it.
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    if (linears[i]->is_analog()) program_layer(i);
   }
   return cals;
 }

@@ -22,6 +22,7 @@
 
 #include "cim/tile_config.hpp"
 #include "eval/synthlambada.hpp"
+#include "faults/deployment_report.hpp"
 #include "nn/transformer.hpp"
 
 namespace nora::core {
@@ -53,18 +54,44 @@ std::vector<LayerCalibration> calibrate(nn::TransformerLM& model,
 std::vector<float> smoothing_vector(const LayerCalibration& cal, float lambda,
                                     float s_min);
 
+/// Per-layer health check for fault-tolerant deployment: a layer whose
+/// post-repair fault density, probe-time ADC saturation rate, or output
+/// finiteness violates these thresholds is degraded to the digital
+/// backend (graceful degradation instead of silent garbage).
+struct HealthPolicy {
+  bool enabled = false;
+  /// Max tolerated fault density in the mapped columns after spare
+  /// remapping.
+  float max_residual_fault_fraction = 0.02f;
+  /// Max tolerated ADC saturation rate over the probe batch.
+  float max_adc_saturation_rate = 0.5f;
+  /// Calibration sequences forwarded through the deployed model to
+  /// probe saturation and non-finite outputs.
+  int probe_examples = 2;
+};
+
 struct DeployOptions {
   cim::TileConfig tile;       // hardware operating point (Table II etc.)
   NoraOptions nora;           // nora.enabled = false -> naive mapping
+  HealthPolicy health;        // off by default: no probe, no fallback
   std::uint64_t seed = 2025;  // per-layer analog seeds derive from this
 };
 
 /// Convert every linear layer of the model to the analog backend
 /// (running calibration first if NORA is enabled). The model must
 /// currently be digital. Returns the per-layer calibrations used.
-std::vector<LayerCalibration> deploy_analog(nn::TransformerLM& model,
-                                            const eval::SynthLambada& task,
-                                            const DeployOptions& opts);
+///
+/// When opts.health.enabled, a post-deployment health pass runs:
+/// structurally broken layers (fault density beyond repair), layers
+/// producing non-finite probe outputs, and layers saturating the ADC
+/// beyond the policy threshold fall back to the digital path; surviving
+/// analog layers are re-programmed from their original seeds so the
+/// probe leaves no trace in their noise streams. If `report` is non-null
+/// it is filled with the per-layer outcome (also when health checking is
+/// disabled, in which case it is purely observational).
+std::vector<LayerCalibration> deploy_analog(
+    nn::TransformerLM& model, const eval::SynthLambada& task,
+    const DeployOptions& opts, faults::DeploymentReport* report = nullptr);
 
 // ---------------------------------------------------------------------
 // Distribution analytics (Fig. 4 / Fig. 6).

@@ -1,0 +1,62 @@
+#include "faults/deployment_report.hpp"
+
+#include <cstdio>
+
+namespace nora::faults {
+
+int DeploymentReport::analog_layers() const {
+  int n = 0;
+  for (const auto& l : layers) n += l.analog ? 1 : 0;
+  return n;
+}
+
+int DeploymentReport::digital_fallbacks() const {
+  return static_cast<int>(layers.size()) - analog_layers();
+}
+
+int DeploymentReport::repaired_layers() const {
+  int n = 0;
+  for (const auto& l : layers) {
+    if (l.faults.cols_remapped > 0 || l.faults.reprogram_devices > 0) ++n;
+  }
+  return n;
+}
+
+const LayerReport* DeploymentReport::find(const std::string& layer) const {
+  for (const auto& l : layers) {
+    if (l.layer == layer) return &l;
+  }
+  return nullptr;
+}
+
+std::string DeploymentReport::to_string() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "deployment report: %d analog, %d digital fallback, "
+                "%d repaired\n",
+                analog_layers(), digital_fallbacks(), repaired_layers());
+  out += buf;
+  for (const auto& l : layers) {
+    std::snprintf(
+        buf, sizeof buf,
+        "  %-28s %-7s fault %.4f -> %.4f  remapped %lld  reprogrammed %lld "
+        "(failed %lld)  adc-sat %.3f",
+        l.layer.c_str(), l.analog ? "analog" : "DIGITAL",
+        l.faults.raw_fault_fraction(), l.faults.residual_fault_fraction(),
+        static_cast<long long>(l.faults.cols_remapped),
+        static_cast<long long>(l.faults.reprogram_devices),
+        static_cast<long long>(l.faults.verify_failures),
+        l.adc_saturation_rate);
+    out += buf;
+    if (!l.reason.empty()) {
+      out += "  [";
+      out += l.reason;
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace nora::faults

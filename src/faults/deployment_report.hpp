@@ -1,0 +1,40 @@
+// Deployment report: which layers run analog, which were repaired, and
+// which fell back to the digital path — and why.
+//
+// Produced by core::deploy_analog when a HealthPolicy is active (or a
+// report is requested). A layer degrades to digital when its residual
+// fault density after repair, its probe-time ADC saturation rate, or a
+// non-finite probe output exceeds the policy's thresholds; the report is
+// the operator-facing record of those decisions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/repair.hpp"
+
+namespace nora::faults {
+
+struct LayerReport {
+  std::string layer;
+  bool analog = true;       // false: fell back to the digital backend
+  std::string reason;       // empty when healthy; else why it degraded
+  ArrayFaultStats faults;   // program-time fault / repair statistics
+  double adc_saturation_rate = 0.0;  // from the health probe (0 if none)
+  bool nonfinite_output = false;     // probe produced NaN/Inf
+};
+
+struct DeploymentReport {
+  std::vector<LayerReport> layers;
+
+  int analog_layers() const;
+  int digital_fallbacks() const;
+  int repaired_layers() const;  // any spare remap or reprogram activity
+
+  const LayerReport* find(const std::string& layer) const;
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+};
+
+}  // namespace nora::faults

@@ -1,0 +1,101 @@
+#include "faults/fault_model.hpp"
+
+#include <stdexcept>
+
+namespace nora::faults {
+
+FaultMap FaultMap::sample(std::int64_t rows, std::int64_t cols,
+                          const FaultConfig& cfg, util::Rng& rng) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("FaultMap::sample: empty tile geometry");
+  }
+  FaultMap map;
+  map.rows_ = rows;
+  map.cols_ = cols;
+  map.device_.assign(static_cast<std::size_t>(rows * cols),
+                     static_cast<std::uint8_t>(DeviceFault::kNone));
+  map.col_fault_count_.assign(static_cast<std::size_t>(cols), 0);
+
+  map.tile_dead_ = cfg.tile_yield < 1.0f && rng.bernoulli(1.0 - cfg.tile_yield);
+
+  std::vector<bool> dead_row(static_cast<std::size_t>(rows), false);
+  if (cfg.dead_row_rate > 0.0f) {
+    for (std::int64_t k = 0; k < rows; ++k) {
+      if (rng.bernoulli(cfg.dead_row_rate)) {
+        dead_row[static_cast<std::size_t>(k)] = true;
+        ++map.n_dead_rows_;
+      }
+    }
+  }
+  std::vector<bool> dead_col(static_cast<std::size_t>(cols), false);
+  if (cfg.dead_col_rate > 0.0f) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      if (rng.bernoulli(cfg.dead_col_rate)) {
+        dead_col[static_cast<std::size_t>(j)] = true;
+        ++map.n_dead_cols_;
+      }
+    }
+  }
+
+  const double p_zero = cfg.stuck_zero_rate;
+  const double p_gmax = cfg.stuck_gmax_rate;
+  const bool device_faults = p_zero > 0.0 || p_gmax > 0.0;
+  for (std::int64_t j = 0; j < cols; ++j) {
+    std::int64_t col_faults = 0;
+    for (std::int64_t k = 0; k < rows; ++k) {
+      DeviceFault f = DeviceFault::kNone;
+      if (map.tile_dead_ || dead_row[static_cast<std::size_t>(k)] ||
+          dead_col[static_cast<std::size_t>(j)]) {
+        f = DeviceFault::kStuckZero;
+      } else if (device_faults) {
+        const double u = rng.uniform();
+        if (u < p_zero) {
+          f = DeviceFault::kStuckZero;
+        } else if (u < p_zero + p_gmax) {
+          f = rng.bernoulli(0.5) ? DeviceFault::kStuckGmaxPos
+                                 : DeviceFault::kStuckGmaxNeg;
+        }
+      }
+      if (f != DeviceFault::kNone) {
+        map.device_[static_cast<std::size_t>(j * rows + k)] =
+            static_cast<std::uint8_t>(f);
+        ++col_faults;
+        if (f == DeviceFault::kStuckZero) {
+          ++map.n_stuck_zero_;
+        } else {
+          ++map.n_stuck_gmax_;
+        }
+      }
+    }
+    map.col_fault_count_[static_cast<std::size_t>(j)] = col_faults;
+    map.n_faulty_ += col_faults;
+  }
+  return map;
+}
+
+void FaultMap::apply_to_column(std::int64_t col,
+                               std::span<float> col_vals) const {
+  if (empty()) return;
+  if (col < 0 || col >= cols_ ||
+      static_cast<std::int64_t>(col_vals.size()) != rows_) {
+    throw std::invalid_argument("FaultMap::apply_to_column: bad geometry");
+  }
+  const std::uint8_t* f = device_.data() + col * rows_;
+  for (std::int64_t k = 0; k < rows_; ++k) {
+    switch (static_cast<DeviceFault>(f[k])) {
+      case DeviceFault::kNone:
+        break;
+      case DeviceFault::kStuckZero:
+        col_vals[static_cast<std::size_t>(k)] = 0.0f;
+        break;
+      case DeviceFault::kStuckGmaxPos:
+        col_vals[static_cast<std::size_t>(k)] = 1.0f;
+        break;
+      case DeviceFault::kStuckGmaxNeg:
+        col_vals[static_cast<std::size_t>(k)] = -1.0f;
+        break;
+    }
+  }
+}
+
+}  // namespace nora::faults

@@ -1,0 +1,116 @@
+// Hard-fault models for analog CIM tiles.
+//
+// The eight noise non-idealities of the paper (Table I) all assume a
+// *working* device; fabricated PCM/ReRAM arrays additionally ship with
+// stuck-at devices, broken word/bit lines and whole-tile yield loss,
+// which dominate the accuracy loss of deployed accelerators [Xiao et
+// al.]. This module models those defects as a per-tile FaultMap sampled
+// once at program time:
+//
+//   - stuck-at-zero: the differential pair reads 0 regardless of the
+//     programmed target (open device / blown access transistor),
+//   - stuck-at-gmax: one device of the pair is shorted at g_max, so the
+//     weight reads +1 or -1 in the normalized conductance domain,
+//   - dead row: a broken wordline — every device on the row is an open,
+//   - dead column: a broken bitline — the whole column reads zero,
+//   - tile yield: with probability (1 - tile_yield) the entire tile is
+//     non-functional (all devices stuck at zero).
+//
+// All sampling is deterministic given the construction RNG, and a
+// default-constructed FaultConfig samples nothing and consumes no
+// randomness, so fault-free configurations are bit-identical to a build
+// without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nora::faults {
+
+/// Per-device defect class, sampled at program time.
+enum class DeviceFault : std::uint8_t {
+  kNone = 0,
+  kStuckZero,     // reads 0 (open device, dead row/col, dead tile)
+  kStuckGmaxPos,  // positive device of the pair shorted: reads +1
+  kStuckGmaxNeg,  // negative device of the pair shorted: reads -1
+};
+
+struct FaultConfig {
+  float stuck_zero_rate = 0.0f;  // per-device probability
+  float stuck_gmax_rate = 0.0f;  // per-device probability (sign is fair)
+  float dead_row_rate = 0.0f;    // per physical row (wordline) probability
+  float dead_col_rate = 0.0f;    // per physical column (bitline) probability
+  float tile_yield = 1.0f;       // probability the tile works at all
+
+  bool any() const {
+    return stuck_zero_rate > 0.0f || stuck_gmax_rate > 0.0f ||
+           dead_row_rate > 0.0f || dead_col_rate > 0.0f || tile_yield < 1.0f;
+  }
+};
+
+/// The sampled defect map of one physical tile, stored column-major
+/// ([cols x rows]) to match AnalogTile's transposed conductance layout.
+/// `cols` is the *physical* column count (logical columns + spares).
+class FaultMap {
+ public:
+  FaultMap() = default;
+
+  /// Sample every defect class once. Draw order is fixed (tile, rows,
+  /// cols, then devices column-major) so maps are reproducible.
+  static FaultMap sample(std::int64_t rows, std::int64_t cols,
+                         const FaultConfig& cfg, util::Rng& rng);
+
+  bool empty() const { return device_.empty(); }
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  DeviceFault at(std::int64_t col, std::int64_t row) const {
+    return static_cast<DeviceFault>(
+        device_[static_cast<std::size_t>(col * rows_ + row)]);
+  }
+
+  bool tile_dead() const { return tile_dead_; }
+  std::int64_t dead_rows() const { return n_dead_rows_; }
+  std::int64_t dead_cols() const { return n_dead_cols_; }
+  std::int64_t stuck_zero_count() const { return n_stuck_zero_; }
+  std::int64_t stuck_gmax_count() const { return n_stuck_gmax_; }
+
+  /// Faulty devices in one physical column.
+  std::int64_t faulty_in_column(std::int64_t col) const {
+    return col_fault_count_[static_cast<std::size_t>(col)];
+  }
+  double column_fault_fraction(std::int64_t col) const {
+    return rows_ > 0 ? static_cast<double>(faulty_in_column(col)) /
+                           static_cast<double>(rows_)
+                     : 0.0;
+  }
+  /// Faulty devices over the whole physical tile.
+  std::int64_t faulty_total() const { return n_faulty_; }
+  double fault_fraction() const {
+    const std::int64_t n = rows_ * cols_;
+    return n > 0 ? static_cast<double>(n_faulty_) / static_cast<double>(n)
+                 : 0.0;
+  }
+
+  /// Force the stuck conductances of physical column `col` onto a
+  /// programmed (normalized, differential) column of `rows()` values.
+  /// Healthy devices are left untouched.
+  void apply_to_column(std::int64_t col, std::span<float> col_vals) const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  bool tile_dead_ = false;
+  std::int64_t n_dead_rows_ = 0;
+  std::int64_t n_dead_cols_ = 0;
+  std::int64_t n_stuck_zero_ = 0;
+  std::int64_t n_stuck_gmax_ = 0;
+  std::int64_t n_faulty_ = 0;
+  std::vector<std::uint8_t> device_;           // [cols * rows]
+  std::vector<std::int64_t> col_fault_count_;  // [cols]
+};
+
+}  // namespace nora::faults

@@ -1,0 +1,85 @@
+// Repair bookkeeping for fault-tolerant analog deployment.
+//
+// Two repair mechanisms act at program time inside AnalogTile:
+//   1. program-verify-reprogram: after programming, conductances are
+//      read back and devices outside `program_tolerance` of their target
+//      are re-programmed, up to `max_program_retries` rounds;
+//   2. spare-column remapping: each physical tile reserves `spare_cols`
+//      columns, and a logical column whose fault density exceeds
+//      `spare_remap_threshold` is remapped onto the cleanest spare.
+//
+// These structs record what each mechanism did, per tile and aggregated
+// per tile array, so the deployment health check (core::deploy_analog)
+// can decide whether a layer is fit for analog execution.
+#pragma once
+
+#include <cstdint>
+
+namespace nora::faults {
+
+/// Program-time fault and repair statistics of one physical tile.
+struct TileRepairStats {
+  std::int64_t devices = 0;          // logical devices (rows * logical cols)
+  std::int64_t physical_devices = 0; // rows * (logical cols + spares)
+  std::int64_t faulty_devices = 0;   // over the full physical tile
+  std::int64_t stuck_zero = 0;
+  std::int64_t stuck_gmax = 0;
+  std::int64_t dead_rows = 0;
+  std::int64_t dead_cols = 0;
+  bool tile_dead = false;
+
+  std::int64_t spare_cols = 0;
+  std::int64_t cols_remapped = 0;       // logical columns moved onto spares
+  std::int64_t reprogram_devices = 0;   // devices touched by the retry loop
+  std::int64_t reprogram_rounds = 0;    // total reprogram pulses issued
+  std::int64_t verify_failures = 0;     // still out of tolerance after retries
+  std::int64_t residual_faulty = 0;     // faulty devices in *mapped* columns
+
+  /// Fault density that remains visible to the MVM after remapping.
+  double residual_fault_fraction() const {
+    return devices > 0 ? static_cast<double>(residual_faulty) /
+                             static_cast<double>(devices)
+                       : 0.0;
+  }
+};
+
+/// TileRepairStats aggregated over every tile of an AnalogMatmul.
+struct ArrayFaultStats {
+  std::int64_t tiles = 0;
+  std::int64_t dead_tiles = 0;
+  std::int64_t devices = 0;
+  std::int64_t physical_devices = 0;
+  std::int64_t faulty_devices = 0;
+  std::int64_t residual_faulty = 0;
+  std::int64_t cols_remapped = 0;
+  std::int64_t reprogram_devices = 0;
+  std::int64_t reprogram_rounds = 0;
+  std::int64_t verify_failures = 0;
+
+  void accumulate(const TileRepairStats& t) {
+    ++tiles;
+    if (t.tile_dead) ++dead_tiles;
+    devices += t.devices;
+    physical_devices += t.physical_devices;
+    faulty_devices += t.faulty_devices;
+    residual_faulty += t.residual_faulty;
+    cols_remapped += t.cols_remapped;
+    reprogram_devices += t.reprogram_devices;
+    reprogram_rounds += t.reprogram_rounds;
+    verify_failures += t.verify_failures;
+  }
+
+  double residual_fault_fraction() const {
+    return devices > 0 ? static_cast<double>(residual_faulty) /
+                             static_cast<double>(devices)
+                       : 0.0;
+  }
+  /// Raw fabrication fault density over the physical arrays.
+  double raw_fault_fraction() const {
+    return physical_devices > 0 ? static_cast<double>(faulty_devices) /
+                                      static_cast<double>(physical_devices)
+                                : 0.0;
+  }
+};
+
+}  // namespace nora::faults

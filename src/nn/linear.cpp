@@ -74,6 +74,7 @@ void Linear::to_analog(const cim::TileConfig& cfg, std::vector<float> s,
                        std::uint64_t seed) {
   int8_ = false;
   analog_ = std::make_unique<cim::AnalogMatmul>(w_.value, std::move(s), cfg, seed);
+  analog_->set_label(name_);
 }
 
 void Linear::to_int8(std::vector<float> s, float static_act_scale) {

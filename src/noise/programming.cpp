@@ -9,6 +9,9 @@ namespace {
 constexpr float kC0 = 0.26348f / 25.0f;
 constexpr float kC1 = 1.96500f / 25.0f;
 constexpr float kC2 = -1.17310f / 25.0f;
+// Residual left by one corrective write-verify pulse, as a fraction of
+// the pre-pulse error (pulse granularity floor).
+constexpr float kVerifyAttenuation = 0.3f;
 }  // namespace
 
 float ProgrammingNoise::sigma(float w_hat) const {
@@ -18,10 +21,17 @@ float ProgrammingNoise::sigma(float w_hat) const {
   return scale_ * std::max(s, 0.0f);
 }
 
+float ProgrammingNoise::correct(float current_error, float target,
+                                util::Rng& rng) const {
+  if (!enabled()) return current_error;
+  return kVerifyAttenuation * current_error +
+         static_cast<float>(
+             rng.gaussian(0.0, kVerifyAttenuation * sigma(target)));
+}
+
 float ProgrammingNoise::residual_error(float target, int iters,
                                        util::Rng& rng) const {
   if (!enabled()) return 0.0f;
-  constexpr float kVerifyAttenuation = 0.3f;
   const float s = sigma(target);
   float err = static_cast<float>(rng.gaussian(0.0, s));
   for (int it = 1; it < iters; ++it) {

@@ -36,6 +36,12 @@ class ProgrammingNoise {
   /// single-shot sigma). iters = 1 is single-shot programming.
   float residual_error(float target, int iters, util::Rng& rng) const;
 
+  /// One closed-loop reprogramming round (the program-verify-reprogram
+  /// retry path): read back the current error and issue a corrective
+  /// pulse, attenuating it exactly like one write-verify iteration.
+  /// Returns the new programming error.
+  float correct(float current_error, float target, util::Rng& rng) const;
+
   /// Perturb a whole matrix of normalized weights in place (applied once,
   /// at program time), with optional write-verify iterations.
   void apply(Matrix& w_hat, util::Rng& rng, int write_verify_iters = 1) const;

@@ -2,15 +2,21 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "tensor/serialize.hpp"
+#include "util/crc32.hpp"
 
 namespace nora::train {
 
 namespace {
 constexpr char kMagic[4] = {'N', 'C', 'K', 'P'};
-constexpr std::int64_t kVersion = 1;
+// v1: magic, version, payload (no integrity check) — still readable.
+// v2: magic, version, i64 payload size, i64 CRC-32 of the payload,
+//     payload. Bit-rot and truncation fail loudly at load time instead
+//     of materializing as garbage weights.
+constexpr std::int64_t kVersion = 2;
 
 void write_config(std::ostream& out, const nn::TransformerConfig& cfg) {
   write_i64(out, cfg.vocab_size);
@@ -49,29 +55,10 @@ nn::TransformerConfig read_config(std::istream& in) {
 }
 }  // namespace
 
-void save_checkpoint(const std::string& path, nn::TransformerLM& model) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  out.write(kMagic, sizeof kMagic);
-  write_i64(out, kVersion);
-  write_config(out, model.config());
-  const auto params = model.collect_params();
-  write_i64(out, static_cast<std::int64_t>(params.size()));
-  for (const nn::Param* p : params) write_matrix(out, p->value);
-  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
-}
-
-std::unique_ptr<nn::TransformerLM> load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
-  char magic[4];
-  in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error("load_checkpoint: bad magic in " + path);
-  }
-  if (read_i64(in) != kVersion) {
-    throw std::runtime_error("load_checkpoint: unsupported version in " + path);
-  }
+namespace {
+/// Parse the payload (config + params) shared by all format versions.
+std::unique_ptr<nn::TransformerLM> read_payload(std::istream& in,
+                                                const std::string& path) {
   auto model = std::make_unique<nn::TransformerLM>(read_config(in));
   const auto params = model->collect_params();
   const std::int64_t count = read_i64(in);
@@ -86,6 +73,62 @@ std::unique_ptr<nn::TransformerLM> load_checkpoint(const std::string& path) {
     p->value = std::move(m);
   }
   return model;
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, nn::TransformerLM& model) {
+  // Serialize the payload in memory first so its CRC-32 can precede it.
+  std::ostringstream payload_out(std::ios::binary);
+  write_config(payload_out, model.config());
+  const auto params = model.collect_params();
+  write_i64(payload_out, static_cast<std::int64_t>(params.size()));
+  for (const nn::Param* p : params) write_matrix(payload_out, p->value);
+  const std::string payload = payload_out.str();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_i64(out, kVersion);
+  write_i64(out, static_cast<std::int64_t>(payload.size()));
+  write_i64(out, util::crc32(payload.data(), payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+std::unique_ptr<nn::TransformerLM> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  }
+  const std::int64_t version = read_i64(in);
+  if (version == 1) {
+    // Legacy checksum-less format (seed checkpoints / model cache).
+    return read_payload(in, path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_checkpoint: unsupported version in " + path);
+  }
+  const std::int64_t payload_size = read_i64(in);
+  if (payload_size < 0) {
+    throw std::runtime_error("load_checkpoint: implausible payload size in " + path);
+  }
+  const std::uint32_t expected_crc = static_cast<std::uint32_t>(read_i64(in));
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (in.gcount() != static_cast<std::streamsize>(payload.size())) {
+    throw std::runtime_error("load_checkpoint: truncated checkpoint " + path);
+  }
+  const std::uint32_t actual_crc = util::crc32(payload.data(), payload.size());
+  if (actual_crc != expected_crc) {
+    throw std::runtime_error(
+        "load_checkpoint: CRC-32 mismatch in " + path +
+        " (file is corrupt or truncated)");
+  }
+  std::istringstream payload_in(payload, std::ios::binary);
+  return read_payload(payload_in, path);
 }
 
 }  // namespace nora::train

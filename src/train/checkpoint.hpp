@@ -1,9 +1,12 @@
 // Model checkpoint I/O.
 //
-// Format: magic "NCKP", version, the full TransformerConfig (including
-// the planted norm gains), then every Param matrix in collect_params()
-// order. Loading reconstructs the model from the embedded config, so a
-// checkpoint is fully self-describing.
+// Format (v2): magic "NCKP", version, payload size, CRC-32 of the
+// payload, then the payload — the full TransformerConfig (including the
+// planted norm gains) followed by every Param matrix in
+// collect_params() order. Loading verifies the checksum (bit-rot and
+// truncation fail with a clear error) and reconstructs the model from
+// the embedded config, so a checkpoint is fully self-describing.
+// Checksum-less v1 checkpoints remain readable.
 #pragma once
 
 #include <memory>
@@ -15,7 +18,8 @@ namespace nora::train {
 
 void save_checkpoint(const std::string& path, nn::TransformerLM& model);
 
-/// Throws std::runtime_error on missing/corrupt file.
+/// Throws std::runtime_error on missing, corrupt, truncated, or
+/// checksum-mismatched files.
 std::unique_ptr<nn::TransformerLM> load_checkpoint(const std::string& path);
 
 }  // namespace nora::train

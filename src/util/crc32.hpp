@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — used by the checkpoint
+// format to detect bit-rot and truncation before weights are loaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nora::util {
+
+/// CRC-32 of `len` bytes. Pass a previous result as `crc` to continue a
+/// running checksum over multiple buffers; 0 starts a fresh one.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc = 0);
+
+}  // namespace nora::util

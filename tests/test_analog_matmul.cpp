@@ -194,6 +194,22 @@ TEST(AnalogMatmul, StatsAccumulateAndReset) {
   EXPECT_GT(unit.mean_alpha(), 0.0);
   unit.reset_stats();
   EXPECT_EQ(unit.stats().alpha_count, 0);
+
+  // reset_stats must also clear the per-tile ADC counters, not just the
+  // array-level input stats (saturation rates would otherwise leak
+  // across measurement windows).
+  TileConfig adc_cfg = TileConfig::ideal();
+  adc_cfg.adc_bits = 7;
+  adc_cfg.adc_bound = 0.25f;  // tight full scale: guarantees saturations
+  AnalogMatmul sat(w, {}, adc_cfg, 28);
+  sat.forward(x);
+  EXPECT_EQ(sat.adc_reads(), 3 * 8);
+  EXPECT_GT(sat.adc_saturations(), 0);
+  EXPECT_GT(sat.adc_saturation_rate(), 0.0);
+  sat.reset_stats();
+  EXPECT_EQ(sat.adc_reads(), 0);
+  EXPECT_EQ(sat.adc_saturations(), 0);
+  EXPECT_EQ(sat.adc_saturation_rate(), 0.0);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "tensor/ops.hpp"
 #include "tensor/serialize.hpp"
 #include "train/checkpoint.hpp"
+#include "util/crc32.hpp"
 
 namespace nora {
 namespace {
@@ -65,6 +67,98 @@ TEST(Checkpoint, RoundTripPreservesPredictions) {
   const Matrix a = model.forward(tokens);
   const Matrix b = loaded->forward(tokens);
   EXPECT_EQ(ops::mse(a, b), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Crc32, MatchesKnownVectorsAndIsContinuable) {
+  // The standard IEEE 802.3 check value.
+  EXPECT_EQ(util::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(util::crc32("", 0), 0x00000000u);
+  // Streaming: crc(a+b) == crc(b, crc(a)).
+  const std::string a = "hello ", b = "world";
+  const std::uint32_t whole = util::crc32("hello world", 11);
+  EXPECT_EQ(util::crc32(b.data(), b.size(), util::crc32(a.data(), a.size())),
+            whole);
+}
+
+TEST(Checkpoint, Crc32DetectsBitRotAndTruncation) {
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 12;
+  cfg.d_model = 8;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.d_ff = 16;
+  cfg.max_seq = 8;
+  nn::TransformerLM model(cfg);
+  const std::string path = temp_path("nora_test_crc.nckp");
+  train::save_checkpoint(path, model);
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  // v2 header: 4-byte magic + i64 version + i64 payload size + i64 CRC.
+  ASSERT_GT(bytes.size(), 28u + 64u);
+
+  // Flip one payload bit deep inside the weights.
+  std::string rotten = bytes;
+  rotten[rotten.size() - 5] ^= 0x10;
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(rotten.data(), static_cast<std::streamsize>(rotten.size()));
+  }
+  try {
+    train::load_checkpoint(path);
+    FAIL() << "bit rot not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC-32"), std::string::npos);
+  }
+
+  // Truncate the file mid-payload.
+  std::string truncated = bytes.substr(0, bytes.size() - 64);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(truncated.data(), static_cast<std::streamsize>(truncated.size()));
+  }
+  EXPECT_THROW(train::load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReadsLegacyVersion1Files) {
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 12;
+  cfg.d_model = 8;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.d_ff = 16;
+  cfg.max_seq = 8;
+  nn::TransformerLM model(cfg);
+  const std::string path = temp_path("nora_test_v1.nckp");
+  train::save_checkpoint(path, model);
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  // Rewrite as the checksum-less v1 layout: magic + version + payload
+  // (the v2 payload starts after the 28-byte header).
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(bytes.data(), 4);                       // magic
+    const std::int64_t v1 = 1;
+    char vbuf[8];
+    std::memcpy(vbuf, &v1, 8);
+    f.write(vbuf, 8);
+    f.write(bytes.data() + 28,
+            static_cast<std::streamsize>(bytes.size() - 28));
+  }
+  auto loaded = train::load_checkpoint(path);
+  const std::vector<int> tokens{1, 2, 3};
+  EXPECT_EQ(ops::mse(model.forward(tokens), loaded->forward(tokens)), 0.0);
   std::remove(path.c_str());
 }
 

@@ -45,6 +45,34 @@ TEST(SmoothingVector, FormulaAndClamping) {
   EXPECT_THROW(smoothing_vector(bad, 0.5f, 1e-3f), std::invalid_argument);
 }
 
+TEST(SmoothingVector, DegenerateChannelsAndClampFloor) {
+  LayerCalibration cal;
+  cal.layer = "edge";
+  //                 all-zero act | all-zero w row | both dead | tiny act
+  cal.act_abs_max = {0.0f,          8.0f,            0.0f,       1e-10f};
+  cal.w_abs_max   = {2.0f,          0.0f,            0.0f,       4.0f};
+  const auto s = smoothing_vector(cal, 0.5f, 1e-3f);
+  // A channel that never activates must not be migrated: s = 1 keeps the
+  // weight column untouched.
+  EXPECT_EQ(s[0], 1.0f);
+  // An all-zero weight row would drive s -> inf (divide by 0^(1-lambda));
+  // it also stays at the identity instead.
+  EXPECT_EQ(s[1], 1.0f);
+  EXPECT_EQ(s[2], 1.0f);
+  // A live but minuscule activation hits the s_min floor exactly:
+  // sqrt(1e-10)/sqrt(4) = 5e-6 < 1e-3.
+  EXPECT_EQ(s[3], 1e-3f);
+  // The floor follows the configured s_min.
+  const auto s_loose = smoothing_vector(cal, 0.5f, 1e-7f);
+  EXPECT_NEAR(s_loose[3], 5e-6f, 1e-9f);
+  // Degenerate channels are no-ops end to end: folding s into weights
+  // and unfolding at the input changes nothing for s = 1 channels.
+  for (float v : s) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0f);
+  }
+}
+
 TEST(Calibrate, CapturesPerChannelRanges) {
   eval::SynthLambadaConfig task_cfg;
   const eval::SynthLambada task(task_cfg);
