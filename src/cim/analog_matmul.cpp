@@ -236,4 +236,43 @@ faults::ArrayFaultStats AnalogMatmul::fault_stats() const {
   return agg;
 }
 
+AbftStats AnalogMatmul::abft_stats() const {
+  AbftStats agg;
+  for (const auto& block : blocks_) {
+    for (const auto& tile : block.tiles) agg.accumulate(tile->abft_stats());
+  }
+  return agg;
+}
+
+AnalogTile& AnalogMatmul::locate(std::int64_t k, std::int64_t n,
+                                 std::int64_t& j_local, std::int64_t& k_local) {
+  if (k < 0 || k >= k_ || n < 0 || n >= n_) {
+    throw std::invalid_argument("AnalogMatmul: device coordinate out of range");
+  }
+  for (auto& block : blocks_) {
+    if (k < block.k0 || k >= block.k1) continue;
+    for (std::size_t t = 0; t < block.tiles.size(); ++t) {
+      AnalogTile& tile = *block.tiles[t];
+      const std::int64_t c0 = block.col0[t];
+      if (n < c0 || n >= c0 + tile.cols()) continue;
+      j_local = n - c0;
+      k_local = k - block.k0;
+      return tile;
+    }
+  }
+  throw std::logic_error("AnalogMatmul: tile grid does not cover coordinate");
+}
+
+void AnalogMatmul::upset_device(std::int64_t k, std::int64_t n, float value) {
+  std::int64_t j = 0, kl = 0;
+  locate(k, n, j, kl).upset_device(j, kl, value);
+}
+
+void AnalogMatmul::wear_stuck(std::int64_t k, std::int64_t n, float value) {
+  std::int64_t j = 0, kl = 0;
+  AnalogTile& tile = locate(k, n, j, kl);
+  wear_.push_back({k, n, value});
+  tile.wear_stuck(j, kl, value);
+}
+
 }  // namespace nora::cim

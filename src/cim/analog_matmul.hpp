@@ -91,6 +91,28 @@ class AnalogMatmul {
   /// (all zeros for a fault-free configuration).
   faults::ArrayFaultStats fault_stats() const;
 
+  // --- runtime integrity (ABFT checksum columns) ---
+  bool abft_enabled() const { return cfg_.abft_checksum; }
+  /// Checksum statistics aggregated over all tiles since construction /
+  /// reset_stats().
+  AbftStats abft_stats() const;
+
+  /// A permanent post-deployment device failure in logical weight
+  /// coordinates (input dim k, output dim n).
+  struct WearRecord {
+    std::int64_t k = 0, n = 0;
+    float value = 0.0f;
+  };
+  /// Transient single-event upset at logical (k, n): the device reads
+  /// `value` until the next set_read_time re-derives the state.
+  void upset_device(std::int64_t k, std::int64_t n, float value);
+  /// Permanent wear at logical (k, n): survives re-reads and drift.
+  /// Recorded so a refresh (which rebuilds the matmul on the same
+  /// physical hardware) can replay it — reprogramming cannot fix broken
+  /// silicon.
+  void wear_stuck(std::int64_t k, std::int64_t n, float value);
+  const std::vector<WearRecord>& wear() const { return wear_; }
+
  private:
   struct RowBlock {
     std::int64_t k0 = 0, k1 = 0;               // input-dim range
@@ -103,6 +125,11 @@ class AnalogMatmul {
   bool run_block(RowBlock& block, std::span<const float> x_s, float alpha,
                  std::span<float> y);
 
+  /// Resolve logical (k, n) to the owning tile and its local (col j,
+  /// row k) coordinates. Throws std::invalid_argument when out of range.
+  AnalogTile& locate(std::int64_t k, std::int64_t n, std::int64_t& j_local,
+                     std::int64_t& k_local);
+
   TileConfig cfg_;
   std::string label_;
   std::int64_t k_ = 0, n_ = 0;
@@ -112,6 +139,7 @@ class AnalogMatmul {
   noise::SShapeNonlinearity sshape_;
   util::Rng rng_;
   ArrayStats stats_;
+  std::vector<WearRecord> wear_;  // permanent post-deployment faults
   std::vector<float> xs_buf_;    // x / s for the current token
   std::vector<float> xhat_buf_;  // post-DAC normalized inputs
 };

@@ -158,6 +158,30 @@ AnalogTile::AnalogTile(const Matrix& w_slice, const TileConfig& cfg,
     drift_nu_t_ = drift_.sample_exponents(cols_, rows_, drift_rng);
   }
   w_hat_t_effective_ = w_hat_t_;
+  if (cfg_.abft_checksum) {
+    // The checksum column is programmed after repair/verify completes, so
+    // the as-programmed signature absorbs programming noise, stuck-at
+    // faults and spare remapping: only *post-programming* change flags.
+    abft_rng_ = rng.split("abft");
+    abft_ref_ = abft_signature(w_hat_t_);
+    abft_eff_ = abft_ref_;
+    abft_gamma_ = 1.0f;
+    for (double c : abft_ref_) {
+      abft_gamma_ = std::max(abft_gamma_, static_cast<float>(std::fabs(c)));
+    }
+  }
+}
+
+std::vector<double> AnalogTile::abft_signature(const Matrix& w_hat_t) const {
+  std::vector<double> sig(static_cast<std::size_t>(rows_), 0.0);
+  for (std::int64_t j = 0; j < cols_; ++j) {
+    const float* wcol = w_hat_t.data() + j * rows_;
+    const double gamma = gamma_[static_cast<std::size_t>(j)];
+    for (std::int64_t k = 0; k < rows_; ++k) {
+      sig[static_cast<std::size_t>(k)] += gamma * wcol[k];
+    }
+  }
+  return sig;
 }
 
 void AnalogTile::force_faults(Matrix& w_hat_t) const {
@@ -168,19 +192,60 @@ void AnalogTile::force_faults(Matrix& w_hat_t) const {
   }
 }
 
+void AnalogTile::force_wear(Matrix& w_hat_t) const {
+  for (const WearRecord& w : wear_) w_hat_t.at(w.j, w.k) = w.value;
+}
+
 void AnalogTile::reset_stats() {
   adc_reads_ = 0;
   adc_saturations_ = 0;
+  abft_ = AbftStats{};
 }
 
 void AnalogTile::set_read_time(float t_seconds) {
+  read_time_s_ = t_seconds;
   w_hat_t_effective_ = w_hat_t_;
   if (cfg_.drift_enabled && t_seconds > 0.0f) {
     drift_.apply(w_hat_t_effective_, drift_nu_t_, t_seconds);
     // Stuck devices are pinned at their defect conductance; drift acts
     // only on working devices.
     force_faults(w_hat_t_effective_);
+    force_wear(w_hat_t_effective_);
   }
+  // The re-read re-derives the effective state, clearing transient
+  // upsets; the checksum signature follows the devices it sums.
+  if (cfg_.abft_checksum) abft_eff_ = abft_signature(w_hat_t_effective_);
+}
+
+void AnalogTile::upset_device(std::int64_t j, std::int64_t k, float value) {
+  if (j < 0 || j >= cols_ || k < 0 || k >= rows_) {
+    throw std::invalid_argument("AnalogTile::upset_device: out of range");
+  }
+  const float old = w_hat_t_effective_.at(j, k);
+  w_hat_t_effective_.at(j, k) = value;
+  if (cfg_.abft_checksum) {
+    abft_eff_[static_cast<std::size_t>(k)] +=
+        double(gamma_[static_cast<std::size_t>(j)]) * (double(value) - old);
+  }
+}
+
+void AnalogTile::wear_stuck(std::int64_t j, std::int64_t k, float value) {
+  if (j < 0 || j >= cols_ || k < 0 || k >= rows_) {
+    throw std::invalid_argument("AnalogTile::wear_stuck: out of range");
+  }
+  wear_.push_back({j, k, value});
+  w_hat_t_.at(j, k) = value;  // persists across re-reads and drift updates
+  upset_device(j, k, value);  // and takes effect immediately
+}
+
+float AnalogTile::read_sigma() const {
+  const float sigma = read_noise_.sigma();
+  if (!cfg_.drift_enabled) return sigma;
+  const float sigma_1f = drift_.read_noise_sigma(read_time_s_);
+  if (sigma_1f <= 0.0f) return sigma;
+  // 1/f read noise grows slowly with time since programming; it adds in
+  // quadrature with the short-term cycle-to-cycle component.
+  return std::sqrt(sigma * sigma + sigma_1f * sigma_1f);
 }
 
 bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
@@ -193,6 +258,7 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
   if (use_ir && contrib_buf_.size() != x_hat.size()) {
     contrib_buf_.resize(x_hat.size());
   }
+  const float sigma_r = read_sigma();
   bool any_saturated = false;
   for (std::int64_t j = 0; j < cols_; ++j) {
     const float* wcol = w_hat_t_effective_.data() + j * rows_;
@@ -208,8 +274,8 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
     }
     // Short-term read noise (aggregated, statistically exact) and the
     // system additive output noise, both before the ADC.
-    if (read_noise_.enabled()) {
-      acc += static_cast<float>(rng.gaussian(0.0, read_noise_.sigma() * x_hat_l2));
+    if (sigma_r > 0.0f) {
+      acc += static_cast<float>(rng.gaussian(0.0, sigma_r * x_hat_l2));
     }
     if (cfg_.out_noise > 0.0f) {
       acc += static_cast<float>(rng.gaussian(0.0, cfg_.out_noise));
@@ -222,7 +288,61 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
     acc = adc_.quantize(acc);
     y[j] += alpha * gamma_[static_cast<std::size_t>(j)] * acc;
   }
+  if (cfg_.abft_checksum) abft_check(x_hat, x_hat_l2, alpha);
   return any_saturated;
+}
+
+void AnalogTile::abft_check(std::span<const float> x_hat, float x_hat_l2,
+                            float alpha) {
+  // Analog read of the checksum column (current effective conductances)
+  // against the digital replay of the as-programmed signature. Both
+  // sides run the identical accumulation, so an unchanged tile yields a
+  // residual of exactly 0.0 — the detector has no float-rounding floor.
+  double c = 0.0, d = 0.0;
+  for (std::int64_t k = 0; k < rows_; ++k) {
+    c += abft_eff_[static_cast<std::size_t>(k)] * x_hat[k];
+    d += abft_ref_[static_cast<std::size_t>(k)] * x_hat[k];
+  }
+  double c_norm = c / abft_gamma_;
+  double d_norm = d / abft_gamma_;
+  // The checksum read suffers the same converters and noise sources as
+  // any data column, drawn from a dedicated stream so the data path is
+  // untouched whether or not ABFT is enabled.
+  const float sigma_r = read_sigma();
+  if (sigma_r > 0.0f || cfg_.out_noise > 0.0f) {
+    const double noise_std =
+        std::sqrt(double(sigma_r) * sigma_r * x_hat_l2 * x_hat_l2 +
+                  double(cfg_.out_noise) * cfg_.out_noise);
+    c_norm += abft_rng_.gaussian(0.0, noise_std);
+  }
+  if (adc_.enabled()) {
+    // Compare in the converter's output domain: the digital reference is
+    // replayed through the same quantize/saturate view, so a checksum
+    // read that rails the ADC (the column sums all data columns and can
+    // exceed the per-column full scale) rails on BOTH sides and cancels
+    // instead of flagging forever.
+    c_norm = adc_.quantize(static_cast<float>(c_norm));
+    d_norm = adc_.quantize(static_cast<float>(d_norm));
+  }
+  const double residual = double(alpha) * abft_gamma_ * (c_norm - d_norm);
+  // The threshold is calibrated once against the AS-DEPLOYED noise floor
+  // (short-term read noise + output noise), not the current read noise:
+  // slowly-growing 1/f noise is an aging symptom the watchdog must see,
+  // so it is deliberately left out of the tolerance and shows up as
+  // excess residual instead.
+  const double fresh_sigma = read_noise_.sigma();
+  const double fresh_std =
+      std::sqrt(fresh_sigma * fresh_sigma * x_hat_l2 * x_hat_l2 +
+                double(cfg_.out_noise) * cfg_.out_noise);
+  const double threshold =
+      double(alpha) * abft_gamma_ *
+      (double(cfg_.abft_threshold_sigma) * fresh_std + 0.5 * adc_.step_size());
+  ++abft_.checks;
+  const double r = std::fabs(residual);
+  abft_.residual_abs_sum += r;
+  abft_.residual_max = std::max(abft_.residual_max, r);
+  abft_.ratio_sum += r / std::max(threshold, 1e-30);
+  if (r > threshold) ++abft_.flags;
 }
 
 }  // namespace nora::cim

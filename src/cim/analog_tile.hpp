@@ -32,6 +32,32 @@
 
 namespace nora::cim {
 
+/// Runtime ABFT checksum statistics of one tile (or aggregated over a
+/// tile array). A "check" is one checksum-column read per MVM; a "flag"
+/// is a residual beyond the noise-calibrated threshold.
+struct AbftStats {
+  std::int64_t checks = 0;
+  std::int64_t flags = 0;
+  double residual_abs_sum = 0.0;  // sum of |residual| (output units)
+  double residual_max = 0.0;      // max |residual| seen
+  double ratio_sum = 0.0;         // sum of |residual| / threshold
+
+  double flag_rate() const {
+    return checks > 0 ? static_cast<double>(flags) / static_cast<double>(checks)
+                      : 0.0;
+  }
+  double mean_ratio() const {
+    return checks > 0 ? ratio_sum / static_cast<double>(checks) : 0.0;
+  }
+  void accumulate(const AbftStats& o) {
+    checks += o.checks;
+    flags += o.flags;
+    residual_abs_sum += o.residual_abs_sum;
+    residual_max = residual_max > o.residual_max ? residual_max : o.residual_max;
+    ratio_sum += o.ratio_sum;
+  }
+};
+
 class AnalogTile {
  public:
   /// w_slice: logical weights [rows x cols] (any NORA rescale already
@@ -69,9 +95,38 @@ class AnalogTile {
   /// configuration).
   const faults::TileRepairStats& fault_stats() const { return fault_stats_; }
 
+  // --- runtime integrity (ABFT checksum column) ---
+  bool abft_enabled() const { return cfg_.abft_checksum; }
+  /// Checksum residual statistics since construction / reset_stats().
+  const AbftStats& abft_stats() const { return abft_; }
+
+  /// Transient single-event upset: overwrite the conductance currently
+  /// read at logical (col j, row k). Cleared by the next set_read_time
+  /// (an analog re-read re-derives the effective state).
+  void upset_device(std::int64_t j, std::int64_t k, float value);
+  /// Permanent wear: the physical device sticks at `value`. Survives
+  /// re-reads and drift updates; only reconstructing the tile (a refresh
+  /// onto healthy hardware) clears it — the runtime refresh path replays
+  /// wear because reprogramming cannot fix broken silicon.
+  void wear_stuck(std::int64_t j, std::int64_t k, float value);
+
  private:
   /// Force the stuck conductances of every mapped physical column.
   void force_faults(Matrix& w_hat_t) const;
+  /// Re-apply recorded wear faults (after drift re-derives the state).
+  void force_wear(Matrix& w_hat_t) const;
+  /// Gamma-folded column-sum signature of the given conductances.
+  std::vector<double> abft_signature(const Matrix& w_hat_t) const;
+  /// One checksum-column read + comparison against the signature.
+  void abft_check(std::span<const float> x_hat, float x_hat_l2, float alpha);
+  /// Effective read-noise std at the current read time (short-term
+  /// cycle-to-cycle noise plus the slowly-growing 1/f drift component).
+  float read_sigma() const;
+
+  struct WearRecord {
+    std::int64_t j = 0, k = 0;
+    float value = 0.0f;
+  };
 
   TileConfig cfg_;
   std::int64_t rows_ = 0;
@@ -90,6 +145,16 @@ class AnalogTile {
   faults::TileRepairStats fault_stats_;
   std::int64_t adc_reads_ = 0;
   std::int64_t adc_saturations_ = 0;
+  float read_time_s_ = 0.0f;          // current read time (drift clock)
+  std::vector<WearRecord> wear_;      // permanent post-deployment faults
+  // ABFT checksum column: as-programmed signature vs the signature of
+  // the currently-read conductances, both in double so an unchanged tile
+  // has a residual of exactly zero (no false positives by construction).
+  std::vector<double> abft_ref_;
+  std::vector<double> abft_eff_;
+  float abft_gamma_ = 1.0f;           // checksum column's own gamma
+  util::Rng abft_rng_;                // dedicated stream: data path untouched
+  AbftStats abft_;
 };
 
 }  // namespace nora::cim

@@ -94,6 +94,22 @@ struct TileConfig {
   /// Acceptance band for the verify readback, in normalized conductance.
   float program_tolerance = 0.02f;
 
+  // --- runtime integrity: ABFT checksum column (off by default) ---
+  /// Program one extra checksum column per tile, holding the gamma-folded
+  /// column sums of the programmed conductances. Every MVM reads it back
+  /// and compares against the digitally-stored as-programmed signature;
+  /// a residual beyond the noise-calibrated threshold flags the tile as
+  /// silently corrupted (drift, transient upsets, worn devices). The
+  /// checksum read draws from a dedicated RNG stream, so enabling it
+  /// never perturbs the data-path outputs; disabling it is bit-identical
+  /// to a checksum-free tile.
+  bool abft_checksum = false;
+  /// Detection threshold in units of the clean checksum-read noise
+  /// std-dev (read noise + output noise, plus the ADC half-step as an
+  /// absolute term). With every runtime noise knob off the threshold is
+  /// exactly zero and any post-programming change of any device flags.
+  float abft_threshold_sigma = 4.0f;
+
   // --- geometry / physics ---
   int tile_rows = 512;   // Table II tile_size
   int tile_cols = 512;

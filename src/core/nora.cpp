@@ -171,6 +171,13 @@ std::vector<LayerDistStats> distribution_stats(nn::TransformerLM& model,
   out.reserve(linears.size());
   for (std::size_t i = 0; i < linears.size(); ++i) {
     nn::Linear* lin = linears[i];
+    // These analytics describe the fp32 reference distributions; a layer
+    // already re-targeted to a quantized backend (e.g. kept INT8 after a
+    // degraded deployment) would contribute misleading rows.
+    if (lin->is_int8()) {
+      lin->set_capture_full(false);
+      continue;
+    }
     LayerDistStats st;
     st.layer = lin->name();
     Matrix x = lin->captured_inputs();
@@ -221,15 +228,44 @@ void deploy_digital_int8(nn::TransformerLM& model,
 }
 
 void set_read_time(nn::TransformerLM& model, float t_seconds) {
+  bool any_analog = false;
+  bool any_drift = false;
   for (auto* lin : model.linear_layers()) {
-    if (lin->is_analog()) lin->analog()->set_read_time(t_seconds);
+    if (!lin->is_analog()) continue;
+    any_analog = true;
+    any_drift |= lin->analog()->config().drift_enabled;
+    lin->analog()->set_read_time(t_seconds);
+  }
+  if (t_seconds > 0.0f && any_analog && !any_drift) {
+    throw std::logic_error(
+        "core::set_read_time: no analog layer was deployed with "
+        "tile.drift_enabled — advancing the drift clock would silently "
+        "measure nothing");
+  }
+}
+
+void refresh_analog_layer(nn::Linear& layer, std::uint64_t deploy_seed) {
+  const cim::AnalogMatmul* analog = layer.analog();
+  if (analog == nullptr) {
+    throw std::logic_error("refresh_analog_layer: layer is not analog");
+  }
+  const cim::TileConfig cfg = analog->config();
+  std::vector<float> s(analog->s().begin(), analog->s().end());
+  const auto wear = analog->wear();  // copy: to_analog destroys the backend
+  layer.to_analog(cfg, std::move(s), util::derive_seed(deploy_seed, layer.name()));
+  for (const auto& rec : wear) {
+    layer.analog()->wear_stuck(rec.k, rec.n, rec.value);
   }
 }
 
 std::vector<LayerDistStats> scaling_factor_stats(nn::TransformerLM& model) {
   std::vector<LayerDistStats> out;
   for (auto* lin : model.linear_layers()) {
+    // Layers degraded to the digital path have no analog backend, and an
+    // analog layer that never ran a forward has no alpha statistics —
+    // both would otherwise show up as misleading zero rows.
     if (!lin->is_analog()) continue;
+    if (lin->analog()->stats().alpha_count == 0) continue;
     LayerDistStats st;
     st.layer = lin->name();
     st.alpha_gamma_gmax = lin->analog()->mean_alpha_gamma_gmax();

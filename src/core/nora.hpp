@@ -113,11 +113,24 @@ std::vector<LayerDistStats> distribution_stats(nn::TransformerLM& model,
                                                bool apply_nora);
 
 /// After analog forwards, collect mean alpha*gamma*g_max per layer.
+/// Layers degraded to the digital path and analog layers that never ran
+/// a forward are skipped instead of reported as zeros.
 std::vector<LayerDistStats> scaling_factor_stats(nn::TransformerLM& model);
 
-/// PCM drift: re-read every analog layer t seconds after programming
-/// (requires tile.drift_enabled at deployment).
+/// PCM drift: re-read every analog layer t seconds after programming.
+/// Throws std::logic_error when t > 0 and the model holds analog layers
+/// but none was deployed with tile.drift_enabled — advancing the clock
+/// would silently measure nothing (a classic lifetime-sweep foot-gun).
 void set_read_time(nn::TransformerLM& model, float t_seconds);
+
+/// Reprogram one currently-analog layer from its original deployment
+/// seed: the rescale vector and tile config are taken from the live
+/// backend, so the result is the exact as-deployed analog state — drift
+/// is reset and transient upsets are cleared. Permanent wear recorded on
+/// the old backend is replayed onto the new one (reprogramming cannot
+/// fix broken silicon). This is the refresh rung of the runtime
+/// escalation ladder; it is also usable standalone.
+void refresh_analog_layer(nn::Linear& layer, std::uint64_t deploy_seed);
 
 /// Digital W8A8 INT8 deployment — the digital-core baseline family of
 /// the paper's related work (Sec. VI). nora.enabled selects plain INT8

@@ -22,8 +22,33 @@ int DeploymentReport::repaired_layers() const {
   return n;
 }
 
+std::int64_t DeploymentReport::runtime_rereads() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.runtime_rereads;
+  return n;
+}
+
+std::int64_t DeploymentReport::runtime_refreshes() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.runtime_refreshes;
+  return n;
+}
+
+int DeploymentReport::runtime_fallbacks() const {
+  int n = 0;
+  for (const auto& l : layers) n += l.runtime_fallback ? 1 : 0;
+  return n;
+}
+
 const LayerReport* DeploymentReport::find(const std::string& layer) const {
   for (const auto& l : layers) {
+    if (l.layer == layer) return &l;
+  }
+  return nullptr;
+}
+
+LayerReport* DeploymentReport::find(const std::string& layer) {
+  for (auto& l : layers) {
     if (l.layer == layer) return &l;
   }
   return nullptr;
@@ -55,6 +80,27 @@ std::string DeploymentReport::to_string() const {
       out += "]";
     }
     out += "\n";
+    // Runtime line only when an IntegrityMonitor actually watched the
+    // layer — deploy-time-only reports stay byte-identical.
+    if (l.runtime_rereads > 0 || l.runtime_refreshes > 0 ||
+        l.runtime_fallback || l.abft_checks > 0) {
+      std::snprintf(
+          buf, sizeof buf,
+          "    runtime: abft %lld/%lld flagged (ewma %.4f)  adc-sat ewma "
+          "%.4f  rereads %lld  refreshes %lld%s",
+          static_cast<long long>(l.abft_flags),
+          static_cast<long long>(l.abft_checks), l.abft_flag_ewma,
+          l.adc_saturation_ewma, static_cast<long long>(l.runtime_rereads),
+          static_cast<long long>(l.runtime_refreshes),
+          l.runtime_fallback ? "  FELL BACK" : "");
+      out += buf;
+      if (!l.runtime_reason.empty()) {
+        out += "  [";
+        out += l.runtime_reason;
+        out += "]";
+      }
+      out += "\n";
+    }
   }
   return out;
 }

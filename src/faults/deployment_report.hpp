@@ -22,6 +22,16 @@ struct LayerReport {
   ArrayFaultStats faults;   // program-time fault / repair statistics
   double adc_saturation_rate = 0.0;  // from the health probe (0 if none)
   bool nonfinite_output = false;     // probe produced NaN/Inf
+
+  // --- runtime integrity (filled by runtime::IntegrityMonitor) ---
+  std::int64_t runtime_rereads = 0;    // escalation rung 1: analog re-read
+  std::int64_t runtime_refreshes = 0;  // rung 2: reprogram from seed
+  bool runtime_fallback = false;       // rung 3: degraded mid-service
+  std::string runtime_reason;          // last escalation trigger
+  std::int64_t abft_checks = 0;        // checksum-column reads observed
+  std::int64_t abft_flags = 0;         // reads beyond threshold
+  double abft_flag_ewma = 0.0;         // watchdog EWMA of the flag rate
+  double adc_saturation_ewma = 0.0;    // watchdog EWMA of the ADC sat rate
 };
 
 struct DeploymentReport {
@@ -31,7 +41,14 @@ struct DeploymentReport {
   int digital_fallbacks() const;
   int repaired_layers() const;  // any spare remap or reprogram activity
 
+  // Runtime-integrity totals over all layers (all zero when no
+  // IntegrityMonitor ran).
+  std::int64_t runtime_rereads() const;
+  std::int64_t runtime_refreshes() const;
+  int runtime_fallbacks() const;
+
   const LayerReport* find(const std::string& layer) const;
+  LayerReport* find(const std::string& layer);
 
   /// Human-readable multi-line summary.
   std::string to_string() const;

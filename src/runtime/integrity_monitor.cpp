@@ -1,0 +1,192 @@
+#include "runtime/integrity_monitor.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/nora.hpp"
+
+namespace nora::runtime {
+
+const char* to_string(RefreshPolicy policy) {
+  switch (policy) {
+    case RefreshPolicy::kNever: return "never";
+    case RefreshPolicy::kPeriodic: return "periodic";
+    case RefreshPolicy::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+RefreshPolicy refresh_policy_from_string(const std::string& name) {
+  if (name == "never") return RefreshPolicy::kNever;
+  if (name == "periodic") return RefreshPolicy::kPeriodic;
+  if (name == "watchdog") return RefreshPolicy::kWatchdog;
+  throw std::invalid_argument("unknown refresh policy: " + name);
+}
+
+IntegrityMonitor::IntegrityMonitor(nn::TransformerLM& model,
+                                   std::uint64_t deploy_seed,
+                                   MonitorConfig cfg,
+                                   faults::DeploymentReport* report)
+    : linears_(model.linear_layers()),
+      deploy_seed_(deploy_seed),
+      cfg_(cfg),
+      report_(report) {
+  if (!(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0)) {
+    throw std::invalid_argument("IntegrityMonitor: ewma_alpha must be in (0, 1]");
+  }
+  health_.reserve(linears_.size());
+  for (const nn::Linear* lin : linears_) {
+    LayerHealth h;
+    h.layer = lin->name();
+    h.analog = lin->is_analog();
+    health_.push_back(std::move(h));
+  }
+}
+
+int IntegrityMonitor::advance_to(float t_seconds) {
+  if (t_seconds < now_) {
+    throw std::invalid_argument("IntegrityMonitor: serving clock cannot go backwards");
+  }
+  now_ = t_seconds;
+  int refreshed = 0;
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    if (!linears_[i]->is_analog()) continue;
+    LayerHealth& h = health_[i];
+    if (cfg_.policy == RefreshPolicy::kPeriodic && cfg_.refresh_period_s > 0 &&
+        now_ - h.programmed_at >= cfg_.refresh_period_s) {
+      refresh_layer(i, "periodic refresh");
+      ++refreshed;
+      sync_report(i);
+    }
+    linears_[i]->analog()->set_read_time(now_ - h.programmed_at);
+  }
+  return refreshed;
+}
+
+int IntegrityMonitor::inspect() {
+  int actions = 0;
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    nn::Linear* lin = linears_[i];
+    LayerHealth& h = health_[i];
+    h.analog = lin->is_analog();
+    if (!h.analog) continue;
+    cim::AnalogMatmul* analog = lin->analog();
+    const cim::AbftStats window = analog->abft_stats();
+    const std::int64_t adc_reads = analog->adc_reads();
+    if (window.checks == 0 && adc_reads == 0) continue;  // no traffic: skip
+    h.abft_checks += window.checks;
+    h.abft_flags += window.flags;
+    const double flag_rate = window.flag_rate();
+    const double sat_rate = analog->adc_saturation_rate();
+    if (!h.ewma_init) {
+      h.flag_ewma = flag_rate;
+      h.sat_ewma = sat_rate;
+      h.ewma_init = true;
+    } else {
+      h.flag_ewma = cfg_.ewma_alpha * flag_rate + (1.0 - cfg_.ewma_alpha) * h.flag_ewma;
+      h.sat_ewma = cfg_.ewma_alpha * sat_rate + (1.0 - cfg_.ewma_alpha) * h.sat_ewma;
+    }
+    const bool flag_over = h.flag_ewma > cfg_.flag_rate_budget;
+    const bool sat_over = h.sat_ewma > cfg_.adc_saturation_budget;
+    // Reset the tile counters now so the next window — and the window
+    // right after an escalation action — starts fresh.
+    analog->reset_stats();
+    if (!flag_over && !sat_over) {
+      h.strikes = 0;  // the last action (if any) cured the symptom
+      h.episode_refreshes = 0;
+      sync_report(i);
+      continue;
+    }
+    char why[128];
+    if (flag_over) {
+      std::snprintf(why, sizeof why, "ABFT flag-rate ewma %.4f exceeds %.4f",
+                    h.flag_ewma, cfg_.flag_rate_budget);
+    } else {
+      std::snprintf(why, sizeof why, "ADC saturation ewma %.4f exceeds %.4f",
+                    h.sat_ewma, cfg_.adc_saturation_budget);
+    }
+    h.last_reason = why;
+    if (cfg_.policy != RefreshPolicy::kWatchdog) {
+      // Observation-only policies record the symptom but never act.
+      sync_report(i);
+      continue;
+    }
+    ++h.strikes;
+    ++actions;
+    if (h.strikes <= 1) {
+      // Rung 1: analog re-read. Re-deriving the effective conductances
+      // clears transient upsets; drift and wear survive and will strike
+      // again next window.
+      analog->set_read_time(now_ - h.programmed_at);
+      ++h.rereads;
+      h.ewma_init = false;  // judge the cheap fix on fresh evidence
+    } else if (h.episode_refreshes < cfg_.fallback_after_refreshes) {
+      // Rung 2: reprogram from the original seed — resets drift; wear is
+      // replayed (broken silicon stays broken). The episode counter (not
+      // the lifetime one) gates rung 3, so drift that recurs months later
+      // earns a fresh refresh rather than an instant fallback.
+      refresh_layer(i, h.last_reason);
+      ++h.episode_refreshes;
+      h.ewma_init = false;
+    } else {
+      // Rung 3: the hardware cannot shed this damage — degrade to the
+      // digital path (the PR-1 graceful-degradation route).
+      lin->to_digital();
+      h.analog = false;
+      h.fallback = true;
+    }
+    sync_report(i);
+  }
+  return actions;
+}
+
+void IntegrityMonitor::refresh_layer(std::size_t i, const std::string& why) {
+  core::refresh_analog_layer(*linears_[i], deploy_seed_);
+  LayerHealth& h = health_[i];
+  h.programmed_at = now_;
+  ++h.refreshes;
+  h.last_reason = why;
+}
+
+void IntegrityMonitor::sync_report(std::size_t i) {
+  if (report_ == nullptr) return;
+  faults::LayerReport* rep = report_->find(health_[i].layer);
+  if (rep == nullptr) return;
+  const LayerHealth& h = health_[i];
+  rep->runtime_rereads = h.rereads;
+  rep->runtime_refreshes = h.refreshes;
+  rep->runtime_fallback = h.fallback;
+  rep->runtime_reason = h.last_reason;
+  rep->abft_checks = h.abft_checks;
+  rep->abft_flags = h.abft_flags;
+  rep->abft_flag_ewma = h.flag_ewma;
+  rep->adc_saturation_ewma = h.sat_ewma;
+  if (h.fallback) rep->analog = false;
+}
+
+const LayerHealth* IntegrityMonitor::find(const std::string& layer) const {
+  for (const auto& h : health_) {
+    if (h.layer == layer) return &h;
+  }
+  return nullptr;
+}
+
+std::int64_t IntegrityMonitor::total_rereads() const {
+  std::int64_t n = 0;
+  for (const auto& h : health_) n += h.rereads;
+  return n;
+}
+
+std::int64_t IntegrityMonitor::total_refreshes() const {
+  std::int64_t n = 0;
+  for (const auto& h : health_) n += h.refreshes;
+  return n;
+}
+
+int IntegrityMonitor::total_fallbacks() const {
+  int n = 0;
+  for (const auto& h : health_) n += h.fallback ? 1 : 0;
+  return n;
+}
+
+}  // namespace nora::runtime

@@ -1,0 +1,140 @@
+// Runtime integrity monitoring + self-healing for an analog-deployed
+// model over simulated serving time.
+//
+// Deployment-time screening (core::deploy_analog + HealthPolicy) decides
+// which layers run analog; nothing after that watches them, while PCM
+// conductance drift, 1/f read noise and post-deployment device failures
+// silently erode accuracy over a serving lifetime. The IntegrityMonitor
+// closes that gap:
+//
+//   * A virtual serving clock (advance_to) ages every analog layer
+//     relative to its own programming epoch via set_read_time.
+//   * Between inspections the tiles' ABFT checksum columns and ADC
+//     saturation counters observe live traffic; inspect() folds each
+//     window into a per-layer EWMA and compares it against budgets.
+//   * An over-budget layer walks an escalation ladder, cheapest rung
+//     first, each rung matched to the failure mode it can actually fix:
+//       1. analog re-read  — re-derives the effective conductances,
+//          clearing transient upsets (costs one read pass);
+//       2. tile refresh    — reprograms the layer from its original
+//          deployment seed, resetting drift (costs a reprogram; recorded
+//          permanent wear is replayed because reprogramming cannot fix
+//          broken silicon);
+//       3. digital fallback — the PR-1 graceful-degradation path, for
+//          damage the hardware cannot shed.
+//     A rung that cures the symptom shows up as a clean next window and
+//     the strike count resets; a rung that does not escalates.
+//
+// Every action is recorded in the layer's faults::LayerReport runtime
+// fields, making the DeploymentReport the single operator-facing record
+// of a layer's whole service history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/deployment_report.hpp"
+#include "nn/transformer.hpp"
+
+namespace nora::runtime {
+
+/// When, if ever, analog layers are reprogrammed during service.
+enum class RefreshPolicy {
+  kNever,     // deploy once, let drift run (the naive baseline)
+  kPeriodic,  // refresh every refresh_period_s of virtual time, blindly
+  kWatchdog,  // refresh (or escalate) only when the monitor flags a layer
+};
+
+const char* to_string(RefreshPolicy policy);
+/// Parse "never" / "periodic" / "watchdog" (throws std::invalid_argument).
+RefreshPolicy refresh_policy_from_string(const std::string& name);
+
+struct MonitorConfig {
+  RefreshPolicy policy = RefreshPolicy::kWatchdog;
+  /// kPeriodic: virtual seconds between blind refreshes of each layer.
+  float refresh_period_s = 86400.0f;
+  /// EWMA smoothing factor for the per-window statistics (1 = only the
+  /// latest window, smaller = longer memory).
+  double ewma_alpha = 0.5;
+  /// Watchdog budget on the EWMA of the ABFT checksum flag rate.
+  double flag_rate_budget = 0.02;
+  /// Watchdog budget on the EWMA of the ADC saturation rate.
+  double adc_saturation_budget = 0.25;
+  /// Refreshes that may fail to clear a layer WITHIN ONE trouble episode
+  /// (run of consecutive over-budget windows) before rung 3 (digital
+  /// fallback) fires. The count resets when a window comes back clean:
+  /// aging that legitimately recurs (drift, 1/f noise) earns a fresh
+  /// refresh each episode, while damage a refresh cannot shed (wear)
+  /// stays over budget and escalates within the same episode.
+  int fallback_after_refreshes = 1;
+};
+
+/// Service-time health record of one layer.
+struct LayerHealth {
+  std::string layer;
+  bool analog = false;         // still on the analog backend
+  float programmed_at = 0.0f;  // virtual time of the last (re)program
+  int strikes = 0;             // consecutive over-budget inspections
+  int episode_refreshes = 0;   // rung-2 actions in the current episode
+  std::int64_t rereads = 0;    // rung-1 actions taken
+  std::int64_t refreshes = 0;  // rung-2 actions taken (incl. periodic)
+  bool fallback = false;       // rung 3 fired
+  double flag_ewma = 0.0;      // EWMA of the ABFT flag rate
+  double sat_ewma = 0.0;       // EWMA of the ADC saturation rate
+  bool ewma_init = false;      // first window after (re)start seen
+  std::int64_t abft_checks = 0;  // lifetime checksum reads observed
+  std::int64_t abft_flags = 0;   // lifetime flags observed
+  std::string last_reason;       // latest escalation trigger
+};
+
+class IntegrityMonitor {
+ public:
+  /// The model must already be analog-deployed; `deploy_seed` is the
+  /// DeployOptions::seed it was deployed with (refreshes re-derive the
+  /// per-layer seeds from it, exactly like deploy_analog). `report`, if
+  /// non-null, must be the report filled by deploy_analog for this
+  /// model; the monitor keeps its runtime fields in sync and must
+  /// outlive neither pointer.
+  IntegrityMonitor(nn::TransformerLM& model, std::uint64_t deploy_seed,
+                   MonitorConfig cfg = {},
+                   faults::DeploymentReport* report = nullptr);
+
+  float now() const { return now_; }
+
+  /// Advance the virtual serving clock (monotonic; throws on a backward
+  /// step). Ages every analog layer to its own relative read time; under
+  /// kPeriodic, layers whose age reached refresh_period_s are refreshed
+  /// first. Returns the number of refreshes performed.
+  int advance_to(float t_seconds);
+
+  /// Close the observation window since the previous inspect(): fold the
+  /// tiles' ABFT / ADC counters into the per-layer EWMAs, walk the
+  /// escalation ladder for over-budget layers (kWatchdog only — the
+  /// other policies observe without acting), sync the report, and reset
+  /// the tile counters so the next window starts fresh. Returns the
+  /// number of actions (rereads + refreshes + fallbacks) taken.
+  int inspect();
+
+  const std::vector<LayerHealth>& health() const { return health_; }
+  const LayerHealth* find(const std::string& layer) const;
+
+  std::int64_t total_rereads() const;
+  std::int64_t total_refreshes() const;
+  int total_fallbacks() const;
+
+ private:
+  /// Reprogram layer i from its original seed and restart its epoch.
+  void refresh_layer(std::size_t i, const std::string& why);
+  /// Copy layer i's health into the deployment report, if attached.
+  void sync_report(std::size_t i);
+
+  std::vector<nn::Linear*> linears_;
+  std::uint64_t deploy_seed_;
+  MonitorConfig cfg_;
+  faults::DeploymentReport* report_;
+  std::vector<LayerHealth> health_;
+  float now_ = 0.0f;
+};
+
+}  // namespace nora::runtime
