@@ -10,6 +10,7 @@
 #include "noise/quantizer.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace nora;
 
@@ -80,6 +81,56 @@ void BM_TileProgramming(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TileProgramming)->Arg(128)->Arg(512);
+
+// Thread scaling of the deterministic parallel forward: a 1024x1024
+// weight matrix (2x2 grid of 512x512 tiles) at 16 tokens, full
+// paper_table2 noise. Output is bit-identical at every width (see
+// tests/test_thread_invariance.cpp), so this measures pure speedup.
+// Run with --benchmark_format=json to capture the table for
+// EXPERIMENTS.md.
+void BM_AnalogTable2ThreadScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  util::ThreadPool::global().resize(threads);
+  const std::int64_t n = 1024;
+  const Matrix w = random_matrix(n, n, 15);
+  const Matrix x = random_matrix(16, n, 16);
+  cim::TileConfig cfg = cim::TileConfig::paper_table2();
+  cfg.n_threads = threads;
+  cim::AnalogMatmul unit(w, {}, cfg, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * n * n);
+  state.counters["threads"] = threads;
+  util::ThreadPool::global().resize(1);
+}
+BENCHMARK(BM_AnalogTable2ThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// Digital GEMM thread scaling (tensor/ops.cpp row-parallel dispatch).
+void BM_DigitalGemmThreadScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  util::ThreadPool::global().resize(threads);
+  const std::int64_t n = 512;
+  const Matrix w = random_matrix(n, n, 18);
+  const Matrix x = random_matrix(64, n, 19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * n * n);
+  state.counters["threads"] = threads;
+  util::ThreadPool::global().resize(1);
+}
+BENCHMARK(BM_DigitalGemmThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_Quantizer(benchmark::State& state) {
   const auto q = noise::UniformQuantizer::from_bits(7, 1.0f);

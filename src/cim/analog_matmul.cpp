@@ -1,8 +1,11 @@
 #include "cim/analog_matmul.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+
+#include "util/thread_pool.hpp"
 
 namespace nora::cim {
 
@@ -14,7 +17,7 @@ AnalogMatmul::AnalogMatmul(const Matrix& w, std::vector<float> s,
       s_(std::move(s)),
       dac_(cfg.dac_steps(), 1.0f),
       sshape_(cfg.sshape_k),
-      rng_(seed) {
+      stream_base_(util::derive_seed(seed, "mvm-streams")) {
   if (k_ == 0 || n_ == 0) throw std::invalid_argument("AnalogMatmul: empty weights");
   if (s_.empty()) s_.assign(static_cast<std::size_t>(k_), 1.0f);
   if (static_cast<std::int64_t>(s_.size()) != k_) {
@@ -40,6 +43,11 @@ AnalogMatmul::AnalogMatmul(const Matrix& w, std::vector<float> s,
   }
   const std::int64_t tr = cfg_.tile_rows;
   const std::int64_t tc = cfg_.tile_cols - cfg_.spare_cols;
+  // Program-time randomness (programming noise, faults, drift exponents)
+  // keeps the original sequential split sequence, so construction is
+  // bit-identical to earlier revisions; only the runtime streams moved
+  // to counter-based derivation.
+  util::Rng boot(seed);
   int tile_id = 0;
   for (std::int64_t k0 = 0; k0 < k_; k0 += tr) {
     RowBlock block;
@@ -54,48 +62,106 @@ AnalogMatmul::AnalogMatmul(const Matrix& w, std::vector<float> s,
         }
       }
       block.tiles.push_back(std::make_unique<AnalogTile>(
-          slice, cfg_, rng_.split("tile-" + std::to_string(tile_id++))));
+          slice, cfg_, boot.split("tile-" + std::to_string(tile_id++))));
       block.col0.push_back(c0);
     }
     blocks_.push_back(std::move(block));
   }
-  xs_buf_.resize(static_cast<std::size_t>(tr));
-  xhat_buf_.resize(static_cast<std::size_t>(tr));
 }
 
-bool AnalogMatmul::run_block(RowBlock& block, std::span<const float> x_s,
-                             float alpha, std::span<float> y) {
+void AnalogMatmul::run_work_item(std::size_t b, std::int64_t t,
+                                 std::span<const float> xrow, float avg_alpha_b,
+                                 std::uint64_t epoch, std::span<float> y,
+                                 BlockWork& work) const {
+  const RowBlock& block = blocks_[b];
   const std::int64_t nk = block.k1 - block.k0;
-  // Input path: rescale by alpha, DAC-quantize (clipping at full scale),
-  // S-shape nonlinearity, additive input noise.
-  const float inv_alpha = 1.0f / alpha;
-  double l2 = 0.0;
+  std::vector<float> xs(static_cast<std::size_t>(nk));
+  std::vector<float> xhat(static_cast<std::size_t>(nk));
+  std::vector<float> contrib;  // IR-drop scratch, reused across tiles
+  float abs_max = 0.0f;
   for (std::int64_t k = 0; k < nk; ++k) {
-    float v = x_s[static_cast<std::size_t>(k)] * inv_alpha;
-    ++stats_.dac_samples;
-    if (std::fabs(v) > 1.0f) {
-      ++stats_.dac_clipped;
-      v = v > 0.0f ? 1.0f : -1.0f;
-    }
-    v = dac_.quantize(v);
-    v = sshape_.apply(v);
-    if (cfg_.in_noise > 0.0f) {
-      v += static_cast<float>(rng_.gaussian(0.0, cfg_.in_noise));
-    }
-    xhat_buf_[static_cast<std::size_t>(k)] = v;
-    l2 += double(v) * v;
+    const float v =
+        xrow[block.k0 + k] / s_[static_cast<std::size_t>(block.k0 + k)];
+    xs[static_cast<std::size_t>(k)] = v;
+    abs_max = std::max(abs_max, std::fabs(v));
   }
-  const float x_l2 = static_cast<float>(std::sqrt(l2));
-  const std::span<const float> x_hat(xhat_buf_.data(), static_cast<std::size_t>(nk));
-  bool saturated = false;
-  for (std::size_t t = 0; t < block.tiles.size(); ++t) {
-    AnalogTile& tile = *block.tiles[t];
-    saturated |= tile.mvm(x_hat, x_l2, alpha,
-                          y.subspan(static_cast<std::size_t>(block.col0[t]),
-                                    static_cast<std::size_t>(tile.cols())),
-                          rng_);
+  float alpha = 1.0f;
+  switch (cfg_.scaling) {
+    case InputScaling::kNone:
+      alpha = 1.0f;
+      break;
+    case InputScaling::kAbsMax:
+      alpha = abs_max > 0.0f ? abs_max : 1.0f;  // Eq. 5 / Eq. 7
+      break;
+    case InputScaling::kAvgAbsMax:
+      alpha = avg_alpha_b;
+      break;
   }
-  return saturated;
+  work.tiles.assign(block.tiles.size(), TileRunCounters{});
+  // Bound management [Gokmen'17]: rerun with doubled alpha while the
+  // ADC saturates (weaker signal, but no output clipping). Each attempt
+  // keys its own noise streams on (epoch, token, block, attempt), so a
+  // retry re-samples fresh hardware noise exactly like a physical rerun.
+  int iter = 0;
+  for (;;) {
+    const std::uint64_t work_key = util::derive_stream(
+        stream_base_, epoch, static_cast<std::uint64_t>(t),
+        (static_cast<std::uint64_t>(b) << 8) | static_cast<std::uint64_t>(iter));
+    util::Rng in_rng(util::derive_stream(work_key, 0));
+    // Input path: rescale by alpha, DAC-quantize (clipping at full
+    // scale), S-shape nonlinearity, additive input noise. DAC counters
+    // stay attempt-local and only the accepted pass commits them: a
+    // bound-management retry replays the SAME physical samples at a
+    // different scale, so counting every attempt would double-count the
+    // converter traffic (retries are visible in bm_retries instead).
+    std::int64_t dac_samples = 0;
+    std::int64_t dac_clipped = 0;
+    const float inv_alpha = 1.0f / alpha;
+    double l2 = 0.0;
+    for (std::int64_t k = 0; k < nk; ++k) {
+      float v = xs[static_cast<std::size_t>(k)] * inv_alpha;
+      ++dac_samples;
+      if (std::fabs(v) > 1.0f) {
+        ++dac_clipped;
+        v = v > 0.0f ? 1.0f : -1.0f;
+      }
+      v = dac_.quantize(v);
+      v = sshape_.apply(v);
+      if (cfg_.in_noise > 0.0f) {
+        v += static_cast<float>(in_rng.gaussian(0.0, cfg_.in_noise));
+      }
+      xhat[static_cast<std::size_t>(k)] = v;
+      l2 += double(v) * v;
+    }
+    const float x_l2 = static_cast<float>(std::sqrt(l2));
+    const std::span<const float> x_hat(xhat.data(),
+                                       static_cast<std::size_t>(nk));
+    std::fill(y.begin(), y.end(), 0.0f);
+    bool saturated = false;
+    for (std::size_t ti = 0; ti < block.tiles.size(); ++ti) {
+      const AnalogTile& tile = *block.tiles[ti];
+      util::Rng tile_rng(util::derive_stream(work_key, 1 + ti));
+      const bool abft = tile.abft_enabled();
+      util::Rng abft_rng(
+          abft ? util::derive_stream(work_key, 0x100000000ull + ti) : 0);
+      saturated |=
+          tile.mvm(x_hat, x_l2, alpha,
+                   y.subspan(static_cast<std::size_t>(block.col0[ti]),
+                             static_cast<std::size_t>(tile.cols())),
+                   tile_rng, abft ? &abft_rng : nullptr, work.tiles[ti],
+                   contrib);
+    }
+    if (!saturated || !cfg_.bound_management || iter >= cfg_.bm_max_iters) {
+      work.stats.dac_samples += dac_samples;
+      work.stats.dac_clipped += dac_clipped;
+      break;
+    }
+    alpha *= 2.0f;
+    ++iter;
+    ++work.stats.bm_retries;
+  }
+  work.stats.alpha_sum += alpha;
+  ++work.stats.alpha_count;
 }
 
 Matrix AnalogMatmul::forward(const Matrix& x) {
@@ -119,57 +185,64 @@ Matrix AnalogMatmul::forward(const Matrix& x) {
       if (avg_alpha[b] <= 0.0f) avg_alpha[b] = 1.0f;
     }
   }
-  std::vector<float> y_block(static_cast<std::size_t>(n_));
-  for (std::int64_t t = 0; t < t_count; ++t) {
-    const auto xrow = x.row(t);
-    auto yrow = y.row(t);
-    for (std::size_t b = 0; b < blocks_.size(); ++b) {
-      RowBlock& block = blocks_[b];
-      const std::int64_t nk = block.k1 - block.k0;
-      float abs_max = 0.0f;
-      for (std::int64_t k = 0; k < nk; ++k) {
-        const float v = xrow[block.k0 + k] / s_[static_cast<std::size_t>(block.k0 + k)];
-        xs_buf_[static_cast<std::size_t>(k)] = v;
-        abs_max = std::max(abs_max, std::fabs(v));
-      }
-      float alpha = 1.0f;
-      switch (cfg_.scaling) {
-        case InputScaling::kNone:
-          alpha = 1.0f;
-          break;
-        case InputScaling::kAbsMax:
-          alpha = abs_max > 0.0f ? abs_max : 1.0f;  // Eq. 5 / Eq. 7
-          break;
-        case InputScaling::kAvgAbsMax:
-          alpha = avg_alpha[b];
-          break;
-      }
-      const std::span<const float> x_s(xs_buf_.data(), static_cast<std::size_t>(nk));
-      // Bound management [Gokmen'17]: rerun with doubled alpha while the
-      // ADC saturates (weaker signal, but no output clipping).
-      int iter = 0;
-      for (;;) {
-        std::fill(y_block.begin(), y_block.end(), 0.0f);
-        const bool saturated = run_block(block, x_s, alpha,
-                                         std::span<float>(y_block.data(),
-                                                          y_block.size()));
-        if (!saturated || !cfg_.bound_management || iter >= cfg_.bm_max_iters) break;
-        alpha *= 2.0f;
-        ++iter;
-        ++stats_.bm_retries;
-      }
-      stats_.alpha_sum += alpha;
-      ++stats_.alpha_count;
-      for (std::int64_t j = 0; j < n_; ++j) yrow[j] += y_block[static_cast<std::size_t>(j)];
+  // Fan the (token x row-block) work items over the pool. Each item
+  // writes a private output slice and a private BlockWork; the shared
+  // state (stats_, y rows, tile counters) is updated afterwards in
+  // canonical (token, row-block) order, so the float accumulation order
+  // and every statistic are independent of the thread count.
+  const std::uint64_t epoch = fwd_epoch_++;
+  const std::int64_t n_blocks = static_cast<std::int64_t>(blocks_.size());
+  const bool parallel = cfg_.n_threads > 1;
+  if (parallel) util::ThreadPool::global().ensure(cfg_.n_threads);
+  // Token chunking bounds the private-slice memory at ~16 MB while still
+  // exposing enough items to keep every worker busy.
+  const std::int64_t budget = std::int64_t{1} << 22;  // floats
+  const std::int64_t chunk = std::clamp<std::int64_t>(
+      budget / std::max<std::int64_t>(1, n_blocks * n_), 1,
+      std::max<std::int64_t>(1, t_count));
+  std::vector<float> partial;
+  std::vector<BlockWork> works;
+  for (std::int64_t tc0 = 0; tc0 < t_count; tc0 += chunk) {
+    const std::int64_t tc1 = std::min(t_count, tc0 + chunk);
+    const std::int64_t items = (tc1 - tc0) * n_blocks;
+    partial.resize(static_cast<std::size_t>(items * n_));
+    works.assign(static_cast<std::size_t>(items), BlockWork{});
+    auto run_item = [&](std::int64_t i) {
+      const std::int64_t t = tc0 + i / n_blocks;
+      const std::size_t b = static_cast<std::size_t>(i % n_blocks);
+      run_work_item(b, t, x.row(t), avg_alpha[b], epoch,
+                    std::span<float>(partial.data() + i * n_,
+                                     static_cast<std::size_t>(n_)),
+                    works[static_cast<std::size_t>(i)]);
+    };
+    if (parallel) {
+      util::ThreadPool::global().parallel_for(items, run_item);
+    } else {
+      for (std::int64_t i = 0; i < items; ++i) run_item(i);
     }
-    // Non-finite guard: a NaN/Inf here would silently poison every
-    // downstream layer; fail loudly, naming the offender instead.
-    for (std::int64_t j = 0; j < n_; ++j) {
-      if (!std::isfinite(yrow[j])) {
-        throw std::runtime_error(
-            "AnalogMatmul[" + (label_.empty() ? "?" : label_) +
-            "]: non-finite output at token " + std::to_string(t) +
-            ", column " + std::to_string(j));
+    // Deterministic serial reduction.
+    for (std::int64_t t = tc0; t < tc1; ++t) {
+      auto yrow = y.row(t);
+      for (std::int64_t b = 0; b < n_blocks; ++b) {
+        const std::int64_t i = (t - tc0) * n_blocks + b;
+        BlockWork& work = works[static_cast<std::size_t>(i)];
+        stats_.accumulate(work.stats);
+        const float* p = partial.data() + i * n_;
+        for (std::int64_t j = 0; j < n_; ++j) yrow[j] += p[j];
+        auto& tiles = blocks_[static_cast<std::size_t>(b)].tiles;
+        for (std::size_t ti = 0; ti < tiles.size(); ++ti) {
+          tiles[ti]->add_run_counters(work.tiles[ti]);
+        }
+      }
+      // Non-finite guard: a NaN/Inf here would silently poison every
+      // downstream layer; fail loudly, naming the offender instead.
+      for (std::int64_t j = 0; j < n_; ++j) {
+        if (!std::isfinite(yrow[j])) {
+          throw std::runtime_error(
+              "AnalogMatmul[" + (label_.empty() ? "?" : label_) +
+              "]: non-finite output at token " + std::to_string(t) +
+              ", column " + std::to_string(j));
+        }
       }
     }
   }

@@ -41,6 +41,13 @@ struct ArrayStats {
                ? static_cast<double>(dac_clipped) / static_cast<double>(dac_samples)
                : 0.0;
   }
+  void accumulate(const ArrayStats& o) {
+    alpha_sum += o.alpha_sum;
+    alpha_count += o.alpha_count;
+    dac_samples += o.dac_samples;
+    dac_clipped += o.dac_clipped;
+    bm_retries += o.bm_retries;
+  }
 };
 
 class AnalogMatmul {
@@ -60,11 +67,17 @@ class AnalogMatmul {
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
 
-  /// x: [T x K] activations. Returns [T x N]. Consumes randomness from
-  /// the internal stream (deterministic given construction seed and
-  /// call sequence). Throws std::runtime_error naming the layer label,
-  /// token and column if any output is NaN/Inf — non-finite values must
-  /// not propagate silently into the rest of the transformer.
+  /// x: [T x K] activations. Returns [T x N]. Every noise draw comes
+  /// from a counter-keyed stream derived from (construction seed,
+  /// forward-call index, token, row-block, bound-management attempt,
+  /// tile), so the result is deterministic given the construction seed
+  /// and the forward-call sequence — and bit-identical for ANY value of
+  /// cfg.n_threads, since no stream depends on execution order. The
+  /// (token x row-block) work items fan out over the global thread pool
+  /// when cfg.n_threads > 1. Throws std::runtime_error naming the layer
+  /// label, token and column if any output is NaN/Inf — non-finite
+  /// values must not propagate silently into the rest of the
+  /// transformer.
   Matrix forward(const Matrix& x);
 
   /// PCM drift: re-read all tiles t seconds after programming.
@@ -120,10 +133,26 @@ class AnalogMatmul {
     std::vector<std::int64_t> col0;             // output-dim offsets
   };
 
-  /// Run one (token, row-block) MVM attempt at the given alpha.
-  /// Returns true if any ADC saturated.
-  bool run_block(RowBlock& block, std::span<const float> x_s, float alpha,
-                 std::span<float> y);
+  /// Everything one (token, row-block) work item produces besides its
+  /// output slice: DAC/alpha/bound-management stats plus the per-tile
+  /// runtime counters. Held privately per work item and folded into the
+  /// shared state serially, in canonical (token, row-block) order, so
+  /// the accumulated statistics are race-free AND bit-identical for any
+  /// thread count.
+  struct BlockWork {
+    ArrayStats stats;
+    std::vector<TileRunCounters> tiles;  // one per column-block tile
+  };
+
+  /// Run one (token, row-block) work item: input rescale -> DAC ->
+  /// non-idealities -> tile MVMs, with the bound-management retry loop
+  /// inside. All randomness comes from streams keyed on (epoch, t, b,
+  /// attempt, tile); all mutable state lives in `y` and `work`.
+  /// Thread-safe for concurrent calls with distinct (t, b).
+  void run_work_item(std::size_t b, std::int64_t t,
+                     std::span<const float> xrow, float avg_alpha_b,
+                     std::uint64_t epoch, std::span<float> y,
+                     BlockWork& work) const;
 
   /// Resolve logical (k, n) to the owning tile and its local (col j,
   /// row k) coordinates. Throws std::invalid_argument when out of range.
@@ -137,11 +166,15 @@ class AnalogMatmul {
   std::vector<RowBlock> blocks_;
   noise::UniformQuantizer dac_;
   noise::SShapeNonlinearity sshape_;
-  util::Rng rng_;
+  /// Root of all runtime noise streams; per-work-item streams are
+  /// derived from it with derive_stream(stream_base_, epoch, t, ...).
+  std::uint64_t stream_base_ = 0;
+  /// Forward-call counter: successive forwards use fresh, decorrelated
+  /// noise streams (the parallel analogue of an advancing sequential
+  /// RNG state).
+  std::uint64_t fwd_epoch_ = 0;
   ArrayStats stats_;
   std::vector<WearRecord> wear_;  // permanent post-deployment faults
-  std::vector<float> xs_buf_;    // x / s for the current token
-  std::vector<float> xhat_buf_;  // post-DAC normalized inputs
 };
 
 }  // namespace nora::cim

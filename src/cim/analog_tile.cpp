@@ -249,14 +249,19 @@ float AnalogTile::read_sigma() const {
 }
 
 bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
-                     std::span<float> y, util::Rng& rng) {
+                     std::span<float> y, util::Rng& rng, util::Rng* abft_rng,
+                     TileRunCounters& counters,
+                     std::vector<float>& contrib) const {
   if (static_cast<std::int64_t>(x_hat.size()) != rows_ ||
       static_cast<std::int64_t>(y.size()) != cols_) {
     throw std::invalid_argument("AnalogTile::mvm: size mismatch");
   }
+  if (cfg_.abft_checksum && abft_rng == nullptr) {
+    throw std::invalid_argument("AnalogTile::mvm: ABFT needs a checksum stream");
+  }
   const bool use_ir = ir_drop_.enabled();
-  if (use_ir && contrib_buf_.size() != x_hat.size()) {
-    contrib_buf_.resize(x_hat.size());
+  if (use_ir && contrib.size() != x_hat.size()) {
+    contrib.resize(x_hat.size());
   }
   const float sigma_r = read_sigma();
   bool any_saturated = false;
@@ -264,9 +269,9 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
     const float* wcol = w_hat_t_effective_.data() + j * rows_;
     float acc;
     if (use_ir) {
-      for (std::int64_t k = 0; k < rows_; ++k) contrib_buf_[k] = wcol[k] * x_hat[k];
+      for (std::int64_t k = 0; k < rows_; ++k) contrib[k] = wcol[k] * x_hat[k];
       acc = ir_drop_.accumulate_column(
-          std::span<const float>(contrib_buf_.data(), contrib_buf_.size()));
+          std::span<const float>(contrib.data(), contrib.size()));
     } else {
       double s = 0.0;
       for (std::int64_t k = 0; k < rows_; ++k) s += double(wcol[k]) * x_hat[k];
@@ -280,20 +285,39 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
     if (cfg_.out_noise > 0.0f) {
       acc += static_cast<float>(rng.gaussian(0.0, cfg_.out_noise));
     }
-    ++adc_reads_;
+    ++counters.adc_reads;
     if (adc_.saturates(acc)) {
-      ++adc_saturations_;
+      ++counters.adc_saturations;
       any_saturated = true;
     }
     acc = adc_.quantize(acc);
     y[j] += alpha * gamma_[static_cast<std::size_t>(j)] * acc;
   }
-  if (cfg_.abft_checksum) abft_check(x_hat, x_hat_l2, alpha);
+  if (cfg_.abft_checksum) {
+    abft_check(x_hat, x_hat_l2, alpha, *abft_rng, counters.abft);
+  }
   return any_saturated;
 }
 
+bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
+                     std::span<float> y, util::Rng& rng) {
+  TileRunCounters counters;
+  const bool saturated =
+      mvm(x_hat, x_hat_l2, alpha, y, rng,
+          cfg_.abft_checksum ? &abft_rng_ : nullptr, counters, contrib_buf_);
+  add_run_counters(counters);
+  return saturated;
+}
+
+void AnalogTile::add_run_counters(const TileRunCounters& c) {
+  adc_reads_ += c.adc_reads;
+  adc_saturations_ += c.adc_saturations;
+  abft_.accumulate(c.abft);
+}
+
 void AnalogTile::abft_check(std::span<const float> x_hat, float x_hat_l2,
-                            float alpha) {
+                            float alpha, util::Rng& abft_rng,
+                            AbftStats& out) const {
   // Analog read of the checksum column (current effective conductances)
   // against the digital replay of the as-programmed signature. Both
   // sides run the identical accumulation, so an unchanged tile yields a
@@ -313,7 +337,7 @@ void AnalogTile::abft_check(std::span<const float> x_hat, float x_hat_l2,
     const double noise_std =
         std::sqrt(double(sigma_r) * sigma_r * x_hat_l2 * x_hat_l2 +
                   double(cfg_.out_noise) * cfg_.out_noise);
-    c_norm += abft_rng_.gaussian(0.0, noise_std);
+    c_norm += abft_rng.gaussian(0.0, noise_std);
   }
   if (adc_.enabled()) {
     // Compare in the converter's output domain: the digital reference is
@@ -337,12 +361,12 @@ void AnalogTile::abft_check(std::span<const float> x_hat, float x_hat_l2,
   const double threshold =
       double(alpha) * abft_gamma_ *
       (double(cfg_.abft_threshold_sigma) * fresh_std + 0.5 * adc_.step_size());
-  ++abft_.checks;
+  ++out.checks;
   const double r = std::fabs(residual);
-  abft_.residual_abs_sum += r;
-  abft_.residual_max = std::max(abft_.residual_max, r);
-  abft_.ratio_sum += r / std::max(threshold, 1e-30);
-  if (r > threshold) ++abft_.flags;
+  out.residual_abs_sum += r;
+  out.residual_max = std::max(out.residual_max, r);
+  out.ratio_sum += r / std::max(threshold, 1e-30);
+  if (r > threshold) ++out.flags;
 }
 
 }  // namespace nora::cim

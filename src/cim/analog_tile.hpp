@@ -58,6 +58,17 @@ struct AbftStats {
   }
 };
 
+/// Per-work-item runtime counters of one tile MVM (ADC activity plus the
+/// ABFT checksum record). The parallel forward accumulates these locally
+/// per (token, row-block) work item and folds them into the owning tiles
+/// in canonical work-item order afterwards, so the tile counters are both
+/// race-free and bit-identical for any thread count.
+struct TileRunCounters {
+  std::int64_t adc_reads = 0;
+  std::int64_t adc_saturations = 0;
+  AbftStats abft;
+};
+
 class AnalogTile {
  public:
   /// w_slice: logical weights [rows x cols] (any NORA rescale already
@@ -75,8 +86,25 @@ class AnalogTile {
   /// x_hat_l2: L2 norm of x_hat (for the aggregated read-noise form).
   /// Accumulates alpha * gamma_j * adc(...) into y[j] (j in [0, cols)).
   /// Returns true if any ADC saturated (drives bound management).
+  ///
+  /// Thread-safe form: all mutable state is caller-owned — noise draws
+  /// come from `rng` (and `abft_rng` for the checksum read; required
+  /// when ABFT is enabled), counters accumulate into `counters`, and
+  /// `contrib` provides the IR-drop scratch buffer. Concurrent calls on
+  /// the same tile are safe as long as each supplies its own arguments.
+  bool mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
+           std::span<float> y, util::Rng& rng, util::Rng* abft_rng,
+           TileRunCounters& counters, std::vector<float>& contrib) const;
+
+  /// Sequential convenience form: draws the checksum read from the
+  /// tile's own dedicated stream and updates the member counters
+  /// directly. Not safe for concurrent calls on the same tile.
   bool mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
            std::span<float> y, util::Rng& rng);
+
+  /// Fold one work item's counters into the tile (deterministic
+  /// reduction step of the parallel forward).
+  void add_run_counters(const TileRunCounters& c);
 
   /// Re-derive the effective conductances at read time t seconds after
   /// programming (PCM drift + global compensation). t = 0 restores the
@@ -118,7 +146,8 @@ class AnalogTile {
   /// Gamma-folded column-sum signature of the given conductances.
   std::vector<double> abft_signature(const Matrix& w_hat_t) const;
   /// One checksum-column read + comparison against the signature.
-  void abft_check(std::span<const float> x_hat, float x_hat_l2, float alpha);
+  void abft_check(std::span<const float> x_hat, float x_hat_l2, float alpha,
+                  util::Rng& abft_rng, AbftStats& out) const;
   /// Effective read-noise std at the current read time (short-term
   /// cycle-to-cycle noise plus the slowly-growing 1/f drift component).
   float read_sigma() const;

@@ -120,6 +120,14 @@ struct TileConfig {
   bool bound_management = false; // iterative alpha doubling on ADC saturation
   int bm_max_iters = 3;
 
+  // --- execution ---
+  /// Execution width for AnalogMatmul::forward: (token x row-block) MVM
+  /// work items fan out over the global util::ThreadPool. Every work
+  /// item derives its own RNG streams from (epoch, token, row-block,
+  /// tile) counters, so the output is bit-identical for ANY value of
+  /// n_threads — this knob changes wall-clock only, never results.
+  int n_threads = 1;
+
   std::uint64_t seed = 0x5eedf00dULL;
 
   /// The paper's Table II operating point (all non-idealities on).

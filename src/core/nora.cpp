@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nora::core {
 
@@ -54,6 +55,11 @@ std::vector<LayerCalibration> deploy_analog(nn::TransformerLM& model,
                                             const eval::SynthLambada& task,
                                             const DeployOptions& opts,
                                             faults::DeploymentReport* report) {
+  // Grow the execution pool up front so the first forward doesn't pay
+  // the thread-spawn cost (a no-op at the default n_threads = 1).
+  if (opts.tile.n_threads > 1) {
+    util::ThreadPool::global().ensure(opts.tile.n_threads);
+  }
   std::vector<LayerCalibration> cals;
   if (opts.nora.enabled) {
     cals = calibrate(model, task, opts.nora.calib_examples);

@@ -72,6 +72,11 @@ struct HealthPolicy {
 
 struct DeployOptions {
   cim::TileConfig tile;       // hardware operating point (Table II etc.)
+                              // tile.n_threads sets the execution width
+                              // of every deployed analog layer; deploy
+                              // grows the global thread pool to match.
+                              // Results are bit-identical for any value
+                              // (see AnalogMatmul::forward).
   NoraOptions nora;           // nora.enabled = false -> naive mapping
   HealthPolicy health;        // off by default: no probe, no fallback
   std::uint64_t seed = 2025;  // per-layer analog seeds derive from this

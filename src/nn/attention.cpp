@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace nora::nn {
 
 CausalSelfAttention::CausalSelfAttention(const std::string& name,
@@ -10,9 +12,11 @@ CausalSelfAttention::CausalSelfAttention(const std::string& name,
                                          std::int64_t n_heads,
                                          std::int64_t max_seq, util::Rng& rng,
                                          float init_std)
-    : d_model_(d_model),
+    : name_(name),
+      d_model_(d_model),
       n_heads_(n_heads),
       d_head_(d_model / n_heads),
+      max_seq_(max_seq),
       qkv_(name + ".qkv", d_model, 3 * d_model, rng, init_std),
       out_proj_(name + ".out", d_model, d_model, rng, init_std),
       rel_bias_(name + ".rel_bias", Matrix(n_heads, max_seq)) {
@@ -23,11 +27,21 @@ CausalSelfAttention::CausalSelfAttention(const std::string& name,
 
 Matrix CausalSelfAttention::forward(const Matrix& x, bool training) {
   const std::int64_t t_len = x.rows();
+  // The rel_bias table only covers offsets [0, max_seq); a longer
+  // sequence would read past its row (silent garbage scores at best).
+  if (t_len > max_seq_) {
+    throw std::invalid_argument(
+        "attention[" + name_ + "]: sequence length " + std::to_string(t_len) +
+        " exceeds max_seq " + std::to_string(max_seq_));
+  }
   Matrix qkv = qkv_.forward(x, training);  // [T x 3d]
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
   Matrix concat(t_len, d_model_);
   if (training) probs_cache_.assign(static_cast<std::size_t>(n_heads_), Matrix());
-  for (std::int64_t h = 0; h < n_heads_; ++h) {
+  // Heads are independent and write disjoint column slices of `concat`,
+  // so they fan out over the pool as-is; the math per head is untouched,
+  // making the result bit-identical to the sequential loop.
+  util::ThreadPool::global().parallel_for(n_heads_, [&](std::int64_t h) {
     const std::int64_t q_off = h * d_head_;
     const std::int64_t k_off = d_model_ + h * d_head_;
     const std::int64_t v_off = 2 * d_model_ + h * d_head_;
@@ -61,7 +75,7 @@ Matrix CausalSelfAttention::forward(const Matrix& x, bool training) {
       }
     }
     if (training) probs_cache_[static_cast<std::size_t>(h)] = std::move(probs);
-  }
+  });
   if (training) qkv_cache_ = qkv;
   return out_proj_.forward(concat, training);
 }
@@ -70,6 +84,14 @@ Matrix CausalSelfAttention::forward_cached(const Matrix& x,
                                            KvCache::BlockCache& cache,
                                            std::int64_t pos0) {
   const std::int64_t t_new = x.rows();
+  // Largest offset read below is pos0 + t_new - 1; past max_seq the
+  // rel_bias row has no entry for it.
+  if (pos0 + t_new > max_seq_) {
+    throw std::invalid_argument(
+        "attention[" + name_ + "]: cached sequence length " +
+        std::to_string(pos0 + t_new) + " exceeds max_seq " +
+        std::to_string(max_seq_));
+  }
   const Matrix qkv = qkv_.forward(x, /*training=*/false);
   if (cache.k.rows() != pos0 || (pos0 > 0 && cache.k.cols() != d_model_)) {
     throw std::invalid_argument("attention forward_cached: cache out of sync");
@@ -92,9 +114,11 @@ Matrix CausalSelfAttention::forward_cached(const Matrix& x,
   }
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
   Matrix concat(t_new, d_model_);
-  std::vector<float> probs;
-  for (std::int64_t h = 0; h < n_heads_; ++h) {
+  // Same disjoint-slice head fan-out as forward(); the probs scratch is
+  // head-local so concurrent heads never share mutable state.
+  util::ThreadPool::global().parallel_for(n_heads_, [&](std::int64_t h) {
     const std::int64_t off = h * d_head_;
+    std::vector<float> probs;
     const auto bias = rel_bias_.value.row(h);
     for (std::int64_t i = 0; i < t_new; ++i) {
       const std::int64_t gi = pos0 + i;  // global position
@@ -122,7 +146,7 @@ Matrix CausalSelfAttention::forward_cached(const Matrix& x,
         for (std::int64_t c = 0; c < d_head_; ++c) oi[off + c] += p * vj[off + c];
       }
     }
-  }
+  });
   cache.k = std::move(k_all);
   cache.v = std::move(v_all);
   return out_proj_.forward(concat, /*training=*/false);

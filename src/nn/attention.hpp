@@ -28,14 +28,18 @@ class CausalSelfAttention {
   std::int64_t d_model() const { return d_model_; }
   std::int64_t n_heads() const { return n_heads_; }
 
-  /// x: [T x d_model] (one sequence) -> [T x d_model].
+  /// x: [T x d_model] (one sequence) -> [T x d_model]. Throws
+  /// std::invalid_argument (naming the layer and both lengths) when T
+  /// exceeds max_seq — the relative-position bias table has no entry
+  /// for larger offsets, and reading past it is undefined behavior.
   Matrix forward(const Matrix& x, bool training = false);
   Matrix backward(const Matrix& dy);
 
   /// Incremental forward: process new rows x (positions pos0..pos0+T-1),
   /// attending over `cache` plus the new rows, and append the new
   /// keys/values to the cache. Bit-identical to forward() over the
-  /// concatenated sequence. Inference only.
+  /// concatenated sequence. Inference only. Throws std::invalid_argument
+  /// when pos0 + T exceeds max_seq (see forward()).
   Matrix forward_cached(const Matrix& x, KvCache::BlockCache& cache,
                         std::int64_t pos0);
 
@@ -45,9 +49,11 @@ class CausalSelfAttention {
   void collect_linears(std::vector<Linear*>& out);
 
  private:
+  std::string name_;
   std::int64_t d_model_ = 0;
   std::int64_t n_heads_ = 0;
   std::int64_t d_head_ = 0;
+  std::int64_t max_seq_ = 0;
   Linear qkv_;       // [d, 3d]
   Linear out_proj_;  // [d, d]
   Param rel_bias_;   // [heads x max_seq]: score(i,j) += rel_bias[h][i-j]

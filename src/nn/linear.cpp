@@ -5,6 +5,7 @@
 
 #include "quant/int8_linear.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nora::nn {
 
@@ -23,13 +24,22 @@ Matrix Linear::forward(const Matrix& x, bool training) {
     throw std::invalid_argument("Linear::forward: input dim mismatch (" + name_ + ")");
   }
   if (capture_input_) {
-    for (std::int64_t t = 0; t < x.rows(); ++t) {
-      const auto row = x.row(t);
-      for (std::int64_t c = 0; c < x.cols(); ++c) {
-        auto& m = input_abs_max_[static_cast<std::size_t>(c)];
-        m = std::max(m, std::fabs(row[c]));
-      }
-    }
+    // Per-column running abs-max. Columns are independent and max() is
+    // order-insensitive, so the column fan-out is exact for any thread
+    // count.
+    const std::int64_t rows = x.rows();
+    const std::int64_t cols = x.cols();
+    const float* data = x.data();
+    util::ThreadPool::global().parallel_for(
+        cols,
+        [&](std::int64_t c) {
+          float m = input_abs_max_[static_cast<std::size_t>(c)];
+          for (std::int64_t t = 0; t < rows; ++t) {
+            m = std::max(m, std::fabs(data[t * cols + c]));
+          }
+          input_abs_max_[static_cast<std::size_t>(c)] = m;
+        },
+        /*grain=*/64);
   }
   if (capture_full_) {
     Matrix grown(captured_inputs_.rows() + x.rows(), in_dim());

@@ -20,10 +20,13 @@ UniformQuantizer::UniformQuantizer(float steps, float bound)
 float UniformQuantizer::quantize(float x) const {
   if (!enabled()) return x;
   const float half = steps_ / 2.0f;
-  // Mid-rise uniform quantizer with saturation: levels are
-  // k * step, k in [-steps/2, steps/2].
+  // Mid-tread uniform quantizer with saturation: levels are k * step,
+  // k in [-steps/2, steps/2 - 1] — exactly `steps` codes, two's-
+  // complement style, with zero always representable. Clamping at +half
+  // would admit steps+1 codes, one more than the converter's bit width
+  // can encode.
   float q = std::round(x / bound_ * half);
-  q = std::clamp(q, -half, half);
+  q = std::clamp(q, -half, half - 1.0f);
   return q * bound_ / half;
 }
 

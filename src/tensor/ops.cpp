@@ -1,7 +1,10 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace nora::ops {
 
@@ -11,24 +14,38 @@ void require(bool ok, const char* msg) {
   if (!ok) throw std::invalid_argument(msg);
 }
 
+/// Row-parallel grain: aim for ~256k multiply-adds per chunk so small
+/// GEMMs stay effectively serial (one chunk) and large ones split.
+std::int64_t row_grain(std::int64_t m, std::int64_t flops_per_row) {
+  return std::clamp<std::int64_t>(
+      std::int64_t{262144} / std::max<std::int64_t>(1, flops_per_row), 1,
+      std::max<std::int64_t>(1, m));
+}
+
 // Micro-kernel free blocked GEMM: C(MxN) += A(MxK) * B(KxN), row-major.
-// The k-outer / j-inner loop order streams B rows through cache and lets
-// the compiler vectorize the innermost j loop.
+// The k-blocked / j-inner loop order streams B rows through cache and
+// lets the compiler vectorize the innermost j loop. Rows of C are
+// independent and each keeps the exact (k-block, k) accumulation order
+// of the sequential kernel, so fanning rows over the pool is
+// bit-identical to running serially.
 void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
               std::int64_t k, std::int64_t n) {
   constexpr std::int64_t kBlock = 64;
-  for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-    const std::int64_t k1 = std::min(k, k0 + kBlock);
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (std::int64_t kk = k0; kk < k1; ++kk) {
-        const float aik = a[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      m,
+      [=](std::int64_t i) {
+        float* crow = c + i * n;
+        for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+          const std::int64_t k1 = std::min(k, k0 + kBlock);
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float aik = a[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* brow = b + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      },
+      row_grain(m, k * n));
 }
 
 }  // namespace
@@ -51,16 +68,24 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.cols(), "matmul_bt: inner dimensions differ");
   const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Output rows are disjoint and each dot product keeps its sequential
+  // accumulation order: bit-identical for any thread count.
+  util::ThreadPool::global().parallel_for(
+      m,
+      [=](std::int64_t i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const float* brow = pb + j * k;
+          float acc = 0.0f;
+          for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] = acc;
+        }
+      },
+      row_grain(m, k * n));
   return c;
 }
 

@@ -23,6 +23,18 @@ std::uint64_t derive_seed(std::uint64_t parent, std::string_view label) {
   return splitmix64(s);
 }
 
+std::uint64_t derive_stream(std::uint64_t base, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t c) {
+  // Chained splitmix64 absorption: each coordinate passes through a full
+  // mixing round, so adjacent counters (t vs t+1, tile i vs i+1) land in
+  // decorrelated streams.
+  std::uint64_t s = base;
+  s = splitmix64(s) ^ a;
+  s = splitmix64(s) ^ b;
+  s = splitmix64(s) ^ c;
+  return splitmix64(s);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

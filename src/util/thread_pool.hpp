@@ -1,0 +1,84 @@
+// A small shared-counter work pool for deterministic parallel loops.
+//
+// Design constraints (see DESIGN.md "Threading & RNG streams"):
+//   - Work items must produce bit-identical results for ANY thread count,
+//     including 1. The pool therefore never decides *what* a work item
+//     computes — callers key all randomness and write disjoint outputs;
+//     the pool only decides *who* runs each item.
+//   - parallel_for must be safely nestable (a worker executing an item
+//     may itself call parallel_for): the claiming thread always helps
+//     drain its own job, so an inner loop completes even when every
+//     other worker is busy.
+//   - With zero workers (the default) parallel_for degrades to a plain
+//     sequential loop with no synchronization, so single-threaded runs
+//     pay nothing and stay on the exact same code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nora::util {
+
+class ThreadPool {
+ public:
+  /// threads counts the calling thread too: ThreadPool(4) spawns 3
+  /// workers and expects the caller to participate in parallel_for.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, including the calling thread (>= 1).
+  int threads() const { return n_threads_.load(std::memory_order_relaxed); }
+
+  /// Set the execution width exactly (joins or spawns workers). Must not
+  /// be called concurrently with an in-flight parallel_for.
+  void resize(int threads);
+  /// Grow to at least `threads`; never shrinks.
+  void ensure(int threads);
+
+  /// Run fn(0) .. fn(n-1), distributing indices over the pool in chunks
+  /// of `grain`. Blocks until every index has completed. The first
+  /// exception thrown by any item is rethrown here (remaining items are
+  /// skipped, already-claimed ones still finish). fn must write only
+  /// per-index-disjoint state; execution order is unspecified.
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+                    std::int64_t grain = 1);
+
+  /// The process-wide pool. Starts at width 1 (purely sequential);
+  /// benches and deployment plumbing size it via resize()/ensure().
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::int64_t n = 0;
+    std::int64_t grain = 1;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // written once by the failed CAS winner
+  };
+
+  void worker_loop();
+  /// Claim and run chunks of `job` until none are left.
+  void assist(Job& job);
+  void remove_job(const std::shared_ptr<Job>& job);
+
+  mutable std::mutex m_;
+  std::condition_variable cv_work_;  // workers: new job available / stop
+  std::condition_variable cv_done_;  // callers: a job finished
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<Job>> jobs_;  // active jobs, newest assisted first
+  std::atomic<int> n_threads_{1};
+  bool stop_ = false;
+};
+
+}  // namespace nora::util

@@ -156,6 +156,34 @@ TEST(AnalogMatmul, BoundManagementResolvesSaturation) {
   EXPECT_NEAR(y_bm.at(0, 0), ref.at(0, 0), 0.05f * std::fabs(ref.at(0, 0)));
 }
 
+TEST(AnalogMatmul, DacStatsCountOnlyAcceptedPassUnderBoundManagement) {
+  // Regression: bound-management retries used to re-count every DAC
+  // sample per attempt, inflating dac_samples (and deflating the clip
+  // fraction) by the retry multiplicity. A retry replays the SAME input
+  // samples at a different alpha, so converter traffic must count the
+  // accepted pass once; retry work is reported separately in bm_retries.
+  Matrix w(64, 4);
+  w.fill(0.9f);
+  Matrix x(3, 64);
+  x.fill(0.7f);  // |sum| ~ 44 >> adc_bound: every token saturates
+  TileConfig cfg = TileConfig::ideal();
+  cfg.dac_bits = 7;
+  cfg.adc_bits = 7;
+  cfg.adc_bound = 12.0f;
+  cfg.bound_management = true;
+  cfg.bm_max_iters = 4;
+  AnalogMatmul unit(w, {}, cfg, 19);
+  unit.forward(x);
+  EXPECT_GT(unit.stats().bm_retries, 0);
+  // 3 tokens x 64 inputs, regardless of how many bound-management
+  // attempts each token needed.
+  EXPECT_EQ(unit.stats().dac_samples, 3 * 64);
+  // The ADC, by contrast, physically re-reads on every attempt: its
+  // counter must keep counting all passes.
+  EXPECT_EQ(unit.adc_reads(),
+            3 * 4 + unit.stats().bm_retries * 4);
+}
+
 TEST(AnalogMatmul, DeterministicForwardGivenSeed) {
   const Matrix w = random_matrix(48, 48, 20);
   const Matrix x = random_matrix(4, 48, 21, 1.0f);

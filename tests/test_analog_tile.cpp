@@ -74,7 +74,8 @@ TEST(AnalogTile, AdcSaturationIsCountedAndClamped) {
   EXPECT_TRUE(sat);
   EXPECT_EQ(tile.adc_saturations(), 1);
   EXPECT_EQ(tile.adc_reads(), 1);
-  EXPECT_FLOAT_EQ(y[0], 4.0f);  // clamped to the ADC bound * gamma(=1) * alpha
+  // Clamped to the ADC's top code: (bound - step) * gamma(=1) * alpha.
+  EXPECT_FLOAT_EQ(y[0], 4.0f * 63.0f / 64.0f);
 }
 
 TEST(AnalogTile, OutputNoiseScalesWithGammaAndAlpha) {

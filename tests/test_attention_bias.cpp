@@ -58,6 +58,52 @@ TEST(RelativeBias, ZeroBiasGivesUniformAttentionForZeroScores) {
   }
 }
 
+TEST(RelativeBias, SequencePastMaxSeqThrowsInsteadOfReadingPastTable) {
+  // Regression: offsets i-j beyond max_seq used to index past the end of
+  // the rel_bias row (silent out-of-bounds read). Both forward paths now
+  // reject such sequences, naming the layer and the lengths involved.
+  util::Rng rng(6);
+  CausalSelfAttention attn("blk3.attn", 8, 2, 4, rng, 0.1f);
+  Matrix ok(4, 8);
+  util::Rng xr(7);
+  ok.fill_gaussian(xr, 1.0f);
+  EXPECT_NO_THROW(attn.forward(ok));
+  Matrix too_long(5, 8);
+  too_long.fill_gaussian(xr, 1.0f);
+  try {
+    attn.forward(too_long);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("blk3.attn"), std::string::npos) << what;
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+    EXPECT_NE(what.find("4"), std::string::npos) << what;
+  }
+}
+
+TEST(RelativeBias, CachedPathAlsoGuardsMaxSeq) {
+  util::Rng rng(8);
+  CausalSelfAttention attn("blk0.attn", 8, 2, 4, rng, 0.1f);
+  KvCache::BlockCache cache;
+  util::Rng xr(9);
+  Matrix first(3, 8);
+  first.fill_gaussian(xr, 1.0f);
+  EXPECT_NO_THROW(attn.forward_cached(first, cache, 0));
+  Matrix second(1, 8);
+  second.fill_gaussian(xr, 1.0f);
+  EXPECT_NO_THROW(attn.forward_cached(second, cache, 3));  // fills to 4
+  Matrix third(1, 8);
+  third.fill_gaussian(xr, 1.0f);
+  try {
+    attn.forward_cached(third, cache, 4);  // would read bias[4]
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("blk0.attn"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_seq"), std::string::npos) << what;
+  }
+}
+
 TEST(RelativeBias, IsTrainableParam) {
   util::Rng rng(5);
   CausalSelfAttention attn("a", 8, 2, 16, rng, 0.1f);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <vector>
 
 #include "noise/quantizer.hpp"
@@ -27,11 +28,32 @@ TEST(Quantizer, FromBitsStepCount) {
 
 TEST(Quantizer, SaturatesAtBound) {
   const UniformQuantizer q(128, 1.0f);
-  EXPECT_FLOAT_EQ(q.quantize(5.0f), 1.0f);
+  // Two's-complement grid: the top code is bound - step (63/64), the
+  // bottom code is exactly -bound. 128 codes total, not 129.
+  EXPECT_FLOAT_EQ(q.quantize(5.0f), 63.0f / 64.0f);
   EXPECT_FLOAT_EQ(q.quantize(-5.0f), -1.0f);
   EXPECT_TRUE(q.saturates(1.5f));
   EXPECT_TRUE(q.saturates(-1.0f));
   EXPECT_FALSE(q.saturates(0.5f));
+}
+
+TEST(Quantizer, ExactlyStepsDistinctLevels) {
+  // Regression for the off-by-one level grid: clamping codes to
+  // [-steps/2, +steps/2] admits steps+1 distinct outputs, one more than
+  // the converter's bit width can encode. The fixed grid is
+  // [-steps/2, steps/2 - 1] — exactly `steps` codes.
+  const UniformQuantizer q(8, 1.0f);
+  std::set<float> levels;
+  for (float x = -2.0f; x <= 2.0f; x += 1e-3f) levels.insert(q.quantize(x));
+  EXPECT_EQ(levels.size(), 8u);
+  // A 7-bit converter must produce exactly 128 codes (Table II).
+  const auto q7 = UniformQuantizer::from_bits(7, 1.0f);
+  std::set<float> levels7;
+  for (float x = -1.5f; x <= 1.5f; x += 1e-4f) levels7.insert(q7.quantize(x));
+  EXPECT_EQ(levels7.size(), 128u);
+  // Zero stays exactly representable.
+  EXPECT_EQ(q.quantize(0.0f), 0.0f);
+  EXPECT_EQ(q7.quantize(0.0f), 0.0f);
 }
 
 TEST(Quantizer, ZeroMapsToZero) {
@@ -68,11 +90,11 @@ TEST(Quantizer, Monotone) {
 }
 
 TEST(Quantizer, ApplySpan) {
-  const UniformQuantizer q(2, 1.0f);  // levels -1, 0, 1
+  const UniformQuantizer q(2, 1.0f);  // levels -1, 0
   std::vector<float> xs{0.2f, 0.9f, -0.7f};
   q.apply(xs);
   EXPECT_FLOAT_EQ(xs[0], 0.0f);
-  EXPECT_FLOAT_EQ(xs[1], 1.0f);
+  EXPECT_FLOAT_EQ(xs[1], 0.0f);  // top code of a 2-step grid is 0
   EXPECT_FLOAT_EQ(xs[2], -1.0f);
 }
 
@@ -83,20 +105,28 @@ TEST(Quantizer, InvalidArguments) {
 }
 
 // Property sweep: for b-bit conversion over [-1, 1], the worst-case
-// rounding error of in-range values is half a step, and the RMS error of
-// uniform inputs shrinks ~2x per extra bit.
+// rounding error is half a step everywhere except at the asymmetric top
+// edge, where inputs near +1 saturate to the highest code (bound - step)
+// and can err by a full step. Error still shrinks ~2x per extra bit.
 class QuantizerBitsSweep : public ::testing::TestWithParam<int> {};
 
-TEST_P(QuantizerBitsSweep, ErrorBoundedByHalfStep) {
+TEST_P(QuantizerBitsSweep, ErrorBoundedByOneStep) {
   const int bits = GetParam();
   const auto q = UniformQuantizer::from_bits(bits, 1.0f);
   util::Rng rng(bits);
   double max_err = 0.0;
+  double max_interior_err = 0.0;
   for (int i = 0; i < 5000; ++i) {
     const float x = static_cast<float>(rng.uniform(-1, 1));
-    max_err = std::max(max_err, std::fabs(double(q.quantize(x)) - x));
+    const double err = std::fabs(double(q.quantize(x)) - x);
+    max_err = std::max(max_err, err);
+    // Away from the clamped top code the half-step bound is exact.
+    if (x < 1.0f - 1.5f * q.step_size()) {
+      max_interior_err = std::max(max_interior_err, err);
+    }
   }
-  EXPECT_LE(max_err, q.step_size() / 2.0 + 1e-6);
+  EXPECT_LE(max_err, q.step_size() + 1e-6);
+  EXPECT_LE(max_interior_err, q.step_size() / 2.0 + 1e-6);
   EXPECT_GT(max_err, q.step_size() / 8.0);  // bound is near-tight
 }
 

@@ -1,0 +1,114 @@
+// Tests for the deterministic work pool: full index coverage, disjoint
+// writes, nesting, exception propagation, resize semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace nora::util {
+namespace {
+
+TEST(ThreadPool, SequentialWidthRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::int64_t i) {
+    order.push_back(static_cast<int>(i));  // no races at width 1
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::int64_t n : {1, 2, 3, 7, 100, 1000}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.parallel_for(n, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, GrainChunksStillCoverEverything) {
+  ThreadPool pool(3);
+  const std::int64_t n = 997;  // prime: never divides evenly into chunks
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.parallel_for(
+      n, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+      /*grain=*/64);
+  std::int64_t total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, n);
+}
+
+TEST(ThreadPool, DisjointWritesProduceExactResult) {
+  ThreadPool pool(4);
+  const std::int64_t n = 5000;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+  pool.parallel_for(n, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = i * i;
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  const std::int64_t outer = 8, inner = 64;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(outer * inner));
+  pool.parallel_for(outer, [&](std::int64_t i) {
+    pool.parallel_for(inner, [&](std::int64_t j) {
+      hits[static_cast<std::size_t>(i * inner + j)].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::int64_t i) {
+                          if (i == 37) throw std::runtime_error("item 37");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(10, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ResizeAndEnsure) {
+  ThreadPool pool(1);
+  pool.ensure(3);
+  EXPECT_EQ(pool.threads(), 3);
+  pool.ensure(2);  // never shrinks
+  EXPECT_EQ(pool.threads(), 3);
+  pool.resize(2);
+  EXPECT_EQ(pool.threads(), 2);
+  EXPECT_THROW(pool.resize(0), std::invalid_argument);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(100, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, GlobalSingletonStartsSequential) {
+  EXPECT_GE(ThreadPool::global().threads(), 1);
+}
+
+TEST(ThreadPool, EmptyLoopIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace nora::util
