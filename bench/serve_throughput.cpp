@@ -1,0 +1,251 @@
+// Continuous-batching serving throughput and latency.
+//
+// Phase 1 (criterion): the same request set is served twice through the
+// analog-deployed model — one request at a time (max_batch=1) and
+// continuously batched (max_batch=8). Batching shares every analog tile
+// pass across the whole batch and fans the per-row work items over the
+// thread pool, so tokens/s must scale. The acceptance criterion
+// (batched >= 2x sequential at mean occupancy >= 4) is only meaningful
+// when the pool actually has parallel hardware: it is enforced at >= 4
+// effective threads (the GitHub CI runner class); below that the bench
+// still runs and instead enforces a no-regression floor, loudly saying
+// so. The determinism cross-check (batched output bit-identical to
+// sequential output) is hardware-independent and always enforced.
+//
+// Phase 2: open-loop Poisson arrivals replayed deterministically at
+// several offered loads; reports occupancy, tokens/s and p50/p95 TTFT.
+//
+//   ./serve_throughput [--model=opt-1.3b-sim] [--threads=N] [--batch=8]
+//                      [--requests=24] [--tokens=20] [--smoke]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/nora.hpp"
+#include "eval/evaluator.hpp"
+#include "model/zoo.hpp"
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nora;
+
+namespace {
+
+struct RunResult {
+  serve::Metrics metrics;
+  double wall_s = 0.0;  // end-to-end serving wall time
+  std::vector<std::vector<int>> tokens;  // per request, submit order
+  double tokens_per_s() const {
+    return wall_s > 0.0
+               ? static_cast<double>(metrics.generated_tokens) / wall_s
+               : 0.0;
+  }
+};
+
+std::vector<std::vector<int>> make_prompts(const eval::SynthLambada& task,
+                                           int n) {
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < n; ++i) {
+    prompts.push_back(
+        task.make_example("test", static_cast<std::uint64_t>(i)).tokens);
+  }
+  return prompts;
+}
+
+/// Serve all prompts, submitted upfront (closed-loop saturation).
+RunResult run_saturated(nn::TransformerLM& model,
+                        const std::vector<std::vector<int>>& prompts,
+                        int max_batch, int n_tokens) {
+  serve::SchedulerConfig cfg;
+  cfg.max_batch = max_batch;
+  serve::Scheduler sched(model, cfg);
+  std::vector<std::int64_t> ids;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    serve::RequestParams p;
+    p.prompt = prompts[i];
+    p.max_new_tokens = n_tokens;
+    // Fixed per-request streams: the sequential and batched runs must
+    // produce bit-identical outputs (the serving determinism contract).
+    p.stream_seed = 1000 + i;
+    ids.push_back(sched.submit(std::move(p)));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.run_until_idle();
+  RunResult r;
+  r.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.metrics = sched.metrics();
+  for (const auto id : ids) r.tokens.push_back(sched.request(id).tokens);
+  return r;
+}
+
+/// Open-loop: deterministic Poisson arrivals at `load` requests/step.
+RunResult run_poisson(nn::TransformerLM& model,
+                      const std::vector<std::vector<int>>& prompts,
+                      int max_batch, int n_tokens, double load,
+                      std::uint64_t seed) {
+  std::vector<std::int64_t> arrival_step(prompts.size());
+  util::Rng rng(seed);
+  double t = 0.0;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    t += -std::log(1.0 - rng.uniform()) / load;
+    arrival_step[i] = static_cast<std::int64_t>(t);
+  }
+  serve::SchedulerConfig cfg;
+  cfg.max_batch = max_batch;
+  serve::Scheduler sched(model, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t next = 0;
+  bool busy = true;
+  while (next < prompts.size() || busy) {
+    while (next < prompts.size() &&
+           arrival_step[next] <= sched.current_step()) {
+      serve::RequestParams p;
+      p.prompt = prompts[next];
+      p.max_new_tokens = n_tokens;
+      p.stream_seed = 2000 + next;
+      sched.submit(std::move(p));
+      ++next;
+    }
+    busy = sched.step();
+    // The step clock only ticks while there is work; a fully drained
+    // scheduler fast-forwards to the next arrival.
+    if (!busy && next < prompts.size()) {
+      arrival_step[next] = sched.current_step();
+      busy = true;
+    }
+  }
+  RunResult r;
+  r.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.metrics = sched.metrics();
+  return r;
+}
+
+void deploy(nn::TransformerLM& model, const eval::SynthLambada& task,
+            int threads) {
+  model.to_digital();
+  core::DeployOptions opts;
+  opts.tile = cim::TileConfig::paper_table2();
+  opts.tile.n_threads = threads;
+  opts.nora.enabled = true;
+  core::deploy_analog(model, task, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const std::string name = cli.get("model", "opt-1.3b-sim");
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads =
+      static_cast<int>(cli.get_int("threads", hw > 0 ? hw : 1));
+  const int batch = static_cast<int>(cli.get_int("batch", 8));
+  // Decode-heavy defaults (short prompt, long generation): prefill rows
+  // parallelize even under sequential serving, so the batching win the
+  // criterion measures lives almost entirely in the decode steps.
+  const int n_requests =
+      static_cast<int>(cli.get_int("requests", smoke ? 12 : 24));
+  const int n_tokens =
+      static_cast<int>(cli.get_int("tokens", smoke ? 16 : 20));
+
+  const model::ModelSpec spec = model::spec_by_name(name);
+  eval::SynthLambadaConfig task_cfg = spec.task;
+  task_cfg.seq_len = spec.task.seq_len - n_tokens;  // decode headroom
+  const eval::SynthLambada task(task_cfg);
+  auto model = model::get_or_train(spec);
+  const auto prompts = make_prompts(task, n_requests);
+
+  std::printf(
+      "Continuous-batching serving throughput — %s, NORA analog "
+      "(Table II), %d requests x %d tokens, %d threads%s\n\n",
+      name.c_str(), n_requests, n_tokens, threads, smoke ? ", smoke" : "");
+
+  // --- phase 1: saturation speedup criterion -------------------------
+  deploy(*model, task, threads);
+  const RunResult seq = run_saturated(*model, prompts, /*max_batch=*/1,
+                                      n_tokens);
+  deploy(*model, task, threads);  // fresh tiles: independent measurement
+  const RunResult bat = run_saturated(*model, prompts, batch, n_tokens);
+
+  const double speedup =
+      seq.tokens_per_s() > 0.0 ? bat.tokens_per_s() / seq.tokens_per_s()
+                               : 0.0;
+  const bool deterministic = seq.tokens == bat.tokens;
+
+  util::Table table({"mode", "occupancy", "tok/s", "TTFT p50 (s)",
+                     "TTFT p95 (s)", "KV high water (tok)"});
+  auto add_mode = [&table](const char* mode, const RunResult& r) {
+    table.add_row({mode, util::Table::num(r.metrics.mean_occupancy(), 2),
+                   util::Table::num(r.tokens_per_s(), 1),
+                   util::Table::num(r.metrics.ttft_p50_s(), 4),
+                   util::Table::num(r.metrics.ttft_p95_s(), 4),
+                   std::to_string(r.metrics.kv_high_water_tokens)});
+  };
+  add_mode("sequential (batch 1)", seq);
+  add_mode("batched", bat);
+  table.print();
+  std::printf("\nbatched vs sequential speedup: %.2fx at mean occupancy "
+              "%.2f\n",
+              speedup, bat.metrics.mean_occupancy());
+  std::printf("determinism cross-check (batched output bit-identical to "
+              "sequential): %s\n\n",
+              deterministic ? "PASS" : "FAIL");
+
+  // --- phase 2: Poisson replay ---------------------------------------
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{0.3} : std::vector<double>{0.15, 0.3, 0.6};
+  util::Table ptable({"offered load (req/step)", "finished", "occupancy",
+                      "tok/s", "queue wait (steps)", "TTFT p50 (s)",
+                      "TTFT p95 (s)"});
+  for (const double load : loads) {
+    deploy(*model, task, threads);
+    const RunResult r =
+        run_poisson(*model, prompts, batch, n_tokens, load, /*seed=*/99);
+    ptable.add_row({util::Table::num(load, 2),
+                    std::to_string(r.metrics.finished),
+                    util::Table::num(r.metrics.mean_occupancy(), 2),
+                    util::Table::num(r.tokens_per_s(), 1),
+                    util::Table::num(r.metrics.mean_queue_wait_steps(), 2),
+                    util::Table::num(r.metrics.ttft_p50_s(), 4),
+                    util::Table::num(r.metrics.ttft_p95_s(), 4)});
+  }
+  std::printf("Poisson open-loop replay (deterministic arrival trace):\n");
+  ptable.print();
+  ptable.write_csv("results/serve_throughput.csv");
+  std::printf("\nbatched metrics (saturation run):\n%s\n",
+              bat.metrics.to_json().c_str());
+
+  // --- acceptance ----------------------------------------------------
+  bool ok = deterministic;
+  if (!deterministic) {
+    std::printf("FAIL: batching changed request outputs — the per-request "
+                "noise-stream keying is broken.\n");
+  }
+  if (threads >= 4) {
+    const bool fast = speedup >= 2.0 && bat.metrics.mean_occupancy() >= 4.0;
+    std::printf("throughput criterion (>= 2.0x at occupancy >= 4, %d "
+                "threads): %s\n",
+                threads, fast ? "PASS" : "FAIL");
+    ok = ok && fast;
+  } else {
+    // One- or two-core hosts cannot express the fan-out win; hold the
+    // line at "batching must not cost throughput" and say so loudly.
+    const bool no_regression = speedup >= 0.85;
+    std::printf(
+        "NOTE: only %d effective thread(s) — the 2x speedup criterion "
+        "needs >= 4 (it measures thread-pool fan-out across the batch). "
+        "Enforcing no-regression floor instead (>= 0.85x): %s\n",
+        threads, no_regression ? "PASS" : "FAIL");
+    ok = ok && no_regression;
+  }
+  return ok ? 0 : 1;
+}

@@ -69,7 +69,7 @@ AnalogMatmul::AnalogMatmul(const Matrix& w, std::vector<float> s,
   }
 }
 
-void AnalogMatmul::run_work_item(std::size_t b, std::int64_t t,
+void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
                                  std::span<const float> xrow, float avg_alpha_b,
                                  std::uint64_t epoch, std::span<float> y,
                                  BlockWork& work) const {
@@ -105,7 +105,7 @@ void AnalogMatmul::run_work_item(std::size_t b, std::int64_t t,
   int iter = 0;
   for (;;) {
     const std::uint64_t work_key = util::derive_stream(
-        stream_base_, epoch, static_cast<std::uint64_t>(t),
+        stream_base_, epoch, t,
         (static_cast<std::uint64_t>(b) << 8) | static_cast<std::uint64_t>(iter));
     util::Rng in_rng(util::derive_stream(work_key, 0));
     // Input path: rescale by alpha, DAC-quantize (clipping at full
@@ -164,25 +164,70 @@ void AnalogMatmul::run_work_item(std::size_t b, std::int64_t t,
   ++work.stats.alpha_count;
 }
 
-Matrix AnalogMatmul::forward(const Matrix& x) {
+Matrix AnalogMatmul::forward(const Matrix& x) { return forward_impl(x, {}); }
+
+Matrix AnalogMatmul::forward(const Matrix& x, std::span<const StreamKey> keys) {
+  if (static_cast<std::int64_t>(keys.size()) != x.rows()) {
+    throw std::invalid_argument(
+        "AnalogMatmul::forward: one StreamKey per row required");
+  }
+  return forward_impl(x, keys);
+}
+
+Matrix AnalogMatmul::forward_impl(const Matrix& x,
+                                  std::span<const StreamKey> keys) {
   if (x.cols() != k_) throw std::invalid_argument("AnalogMatmul::forward: dim mismatch");
   const std::int64_t t_count = x.rows();
+  const bool keyed = !keys.empty();
   Matrix y(t_count, n_);
-  // For the kAvgAbsMax policy the scale is shared across the batch.
-  std::vector<float> avg_alpha(blocks_.size(), 0.0f);
+  // For the kAvgAbsMax policy the scale is shared across an alpha
+  // group: the whole call in the legacy path, each contiguous run of
+  // rows with equal StreamKey::stream in the keyed path (so a request's
+  // alpha never depends on its batch neighbours).
+  std::vector<std::int64_t> group_of;  // row -> alpha-group index
+  std::int64_t n_groups = t_count > 0 ? 1 : 0;
+  if (t_count > 0) {
+    group_of.assign(static_cast<std::size_t>(t_count), 0);
+    if (keyed) {
+      for (std::int64_t t = 1; t < t_count; ++t) {
+        if (keys[static_cast<std::size_t>(t)].stream !=
+            keys[static_cast<std::size_t>(t - 1)].stream) {
+          ++n_groups;
+        }
+        group_of[static_cast<std::size_t>(t)] = n_groups - 1;
+      }
+    }
+  }
+  std::vector<float> avg_alpha(blocks_.size() *
+                                   static_cast<std::size_t>(n_groups),
+                               0.0f);
   if (cfg_.scaling == InputScaling::kAvgAbsMax && t_count > 0) {
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
       double sum = 0.0;
+      std::int64_t group_n = 0;
+      std::int64_t group = 0;
       for (std::int64_t t = 0; t < t_count; ++t) {
+        if (group_of[static_cast<std::size_t>(t)] != group) {
+          float& a = avg_alpha[b * static_cast<std::size_t>(n_groups) +
+                               static_cast<std::size_t>(group)];
+          a = static_cast<float>(sum / static_cast<double>(group_n));
+          if (a <= 0.0f) a = 1.0f;
+          sum = 0.0;
+          group_n = 0;
+          group = group_of[static_cast<std::size_t>(t)];
+        }
         const auto row = x.row(t);
         float m = 0.0f;
         for (std::int64_t k = blocks_[b].k0; k < blocks_[b].k1; ++k) {
           m = std::max(m, std::fabs(row[k] / s_[static_cast<std::size_t>(k)]));
         }
         sum += m;
+        ++group_n;
       }
-      avg_alpha[b] = static_cast<float>(sum / static_cast<double>(t_count));
-      if (avg_alpha[b] <= 0.0f) avg_alpha[b] = 1.0f;
+      float& a = avg_alpha[b * static_cast<std::size_t>(n_groups) +
+                           static_cast<std::size_t>(group)];
+      a = static_cast<float>(sum / static_cast<double>(group_n));
+      if (a <= 0.0f) a = 1.0f;
     }
   }
   // Fan the (token x row-block) work items over the pool. Each item
@@ -190,7 +235,7 @@ Matrix AnalogMatmul::forward(const Matrix& x) {
   // state (stats_, y rows, tile counters) is updated afterwards in
   // canonical (token, row-block) order, so the float accumulation order
   // and every statistic are independent of the thread count.
-  const std::uint64_t epoch = fwd_epoch_++;
+  const std::uint64_t epoch = keyed ? 0 : fwd_epoch_++;
   const std::int64_t n_blocks = static_cast<std::int64_t>(blocks_.size());
   const bool parallel = cfg_.n_threads > 1;
   if (parallel) util::ThreadPool::global().ensure(cfg_.n_threads);
@@ -210,7 +255,16 @@ Matrix AnalogMatmul::forward(const Matrix& x) {
     auto run_item = [&](std::int64_t i) {
       const std::int64_t t = tc0 + i / n_blocks;
       const std::size_t b = static_cast<std::size_t>(i % n_blocks);
-      run_work_item(b, t, x.row(t), avg_alpha[b], epoch,
+      const std::uint64_t row_epoch =
+          keyed ? keys[static_cast<std::size_t>(t)].stream : epoch;
+      const std::uint64_t row_token =
+          keyed ? keys[static_cast<std::size_t>(t)].token
+                : static_cast<std::uint64_t>(t);
+      run_work_item(b, row_token, x.row(t),
+                    avg_alpha[b * static_cast<std::size_t>(n_groups) +
+                              static_cast<std::size_t>(
+                                  group_of[static_cast<std::size_t>(t)])],
+                    row_epoch,
                     std::span<float>(partial.data() + i * n_,
                                      static_cast<std::size_t>(n_)),
                     works[static_cast<std::size_t>(i)]);

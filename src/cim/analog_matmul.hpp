@@ -26,6 +26,18 @@
 
 namespace nora::cim {
 
+/// Explicit per-row noise-stream coordinates for the keyed forward
+/// overload. `stream` replaces the forward-call epoch and `token`
+/// replaces the in-call row index, so the caller — not the call
+/// sequence — decides which noise a row sees. The serving layer keys
+/// rows on (request stream, request-local position), which is what
+/// makes a request's output bit-identical whether it is served alone
+/// or inside a continuously-formed batch.
+struct StreamKey {
+  std::uint64_t stream = 0;
+  std::uint64_t token = 0;
+};
+
 struct ArrayStats {
   double alpha_sum = 0.0;          // sum of final per-(token, block) alphas
   std::int64_t alpha_count = 0;
@@ -79,6 +91,16 @@ class AnalogMatmul {
   /// values must not propagate silently into the rest of the
   /// transformer.
   Matrix forward(const Matrix& x);
+
+  /// Keyed forward: row t draws its noise from (construction seed,
+  /// keys[t].stream, keys[t].token, ...) instead of the internal
+  /// forward-call epoch and row index, and does NOT advance the epoch
+  /// counter. Rows with equal `stream` form a group: under the
+  /// kAvgAbsMax policy the shared alpha is averaged per contiguous
+  /// group rather than over the whole call, so a group's result does
+  /// not depend on what else shares the batch. Statistics accumulate
+  /// exactly like the unkeyed forward.
+  Matrix forward(const Matrix& x, std::span<const StreamKey> keys);
 
   /// PCM drift: re-read all tiles t seconds after programming.
   void set_read_time(float t_seconds);
@@ -149,10 +171,14 @@ class AnalogMatmul {
   /// inside. All randomness comes from streams keyed on (epoch, t, b,
   /// attempt, tile); all mutable state lives in `y` and `work`.
   /// Thread-safe for concurrent calls with distinct (t, b).
-  void run_work_item(std::size_t b, std::int64_t t,
+  void run_work_item(std::size_t b, std::uint64_t t,
                      std::span<const float> xrow, float avg_alpha_b,
                      std::uint64_t epoch, std::span<float> y,
                      BlockWork& work) const;
+
+  /// Shared body of both forward overloads; `keys` empty selects the
+  /// legacy (epoch, row-index) keying.
+  Matrix forward_impl(const Matrix& x, std::span<const StreamKey> keys);
 
   /// Resolve logical (k, n) to the owning tile and its local (col j,
   /// row k) coordinates. Throws std::invalid_argument when out of range.

@@ -152,6 +152,117 @@ Matrix CausalSelfAttention::forward_cached(const Matrix& x,
   return out_proj_.forward(concat, /*training=*/false);
 }
 
+Matrix CausalSelfAttention::forward_serve(const Matrix& x,
+                                          std::span<const AttnServeSeq> seqs,
+                                          std::span<const cim::StreamKey> keys) {
+  const std::int64_t n_seqs = static_cast<std::int64_t>(seqs.size());
+  std::vector<std::int64_t> r0(static_cast<std::size_t>(n_seqs), 0);
+  std::int64_t total = 0;
+  for (std::int64_t s = 0; s < n_seqs; ++s) {
+    const AttnServeSeq& seq = seqs[static_cast<std::size_t>(s)];
+    if (seq.cache == nullptr || seq.rows <= 0) {
+      throw std::invalid_argument("attention forward_serve: bad segment");
+    }
+    if (seq.pos0 + seq.rows > max_seq_) {
+      throw std::invalid_argument(
+          "attention[" + name_ + "]: cached sequence length " +
+          std::to_string(seq.pos0 + seq.rows) + " exceeds max_seq " +
+          std::to_string(max_seq_));
+    }
+    if (seq.cache->k.rows() != seq.pos0 ||
+        (seq.pos0 > 0 && seq.cache->k.cols() != d_model_)) {
+      throw std::invalid_argument("attention forward_serve: cache out of sync");
+    }
+    r0[static_cast<std::size_t>(s)] = total;
+    total += seq.rows;
+  }
+  if (total != x.rows()) {
+    throw std::invalid_argument(
+        "attention forward_serve: segment rows do not cover the batch");
+  }
+  const Matrix qkv = qkv_.forward_keyed(x, keys);  // [T x 3d], one tile pass
+  // Per-sequence extended K/V (cache + this step's new rows). Sequences
+  // are independent work items with disjoint state.
+  std::vector<Matrix> k_all(static_cast<std::size_t>(n_seqs));
+  std::vector<Matrix> v_all(static_cast<std::size_t>(n_seqs));
+  util::ThreadPool::global().parallel_for(n_seqs, [&](std::int64_t s) {
+    const AttnServeSeq& seq = seqs[static_cast<std::size_t>(s)];
+    Matrix k(seq.pos0 + seq.rows, d_model_);
+    Matrix v(seq.pos0 + seq.rows, d_model_);
+    if (seq.pos0 > 0) {
+      const Matrix& ck = seq.cache->k;
+      const Matrix& cv = seq.cache->v;
+      std::copy(ck.data(), ck.data() + ck.size(), k.data());
+      std::copy(cv.data(), cv.data() + cv.size(), v.data());
+    }
+    for (std::int64_t t = 0; t < seq.rows; ++t) {
+      const auto row = qkv.row(r0[static_cast<std::size_t>(s)] + t);
+      auto kr = k.row(seq.pos0 + t);
+      auto vr = v.row(seq.pos0 + t);
+      for (std::int64_t c = 0; c < d_model_; ++c) {
+        kr[c] = row[d_model_ + c];
+        vr[c] = row[2 * d_model_ + c];
+      }
+    }
+    k_all[static_cast<std::size_t>(s)] = std::move(k);
+    v_all[static_cast<std::size_t>(s)] = std::move(v);
+  });
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Matrix concat(total, d_model_);
+  // (sequence x head) fan-out: each item writes the head's column slice
+  // of its sequence's row range — disjoint — with the same digital math
+  // and accumulation order as forward_cached, so any thread count and
+  // any batch composition produce identical rows.
+  util::ThreadPool::global().parallel_for(
+      n_seqs * n_heads_, [&](std::int64_t item) {
+        const std::int64_t s = item / n_heads_;
+        const std::int64_t h = item % n_heads_;
+        const AttnServeSeq& seq = seqs[static_cast<std::size_t>(s)];
+        const Matrix& ks = k_all[static_cast<std::size_t>(s)];
+        const Matrix& vs = v_all[static_cast<std::size_t>(s)];
+        const std::int64_t off = h * d_head_;
+        std::vector<float> probs;
+        const auto bias = rel_bias_.value.row(h);
+        for (std::int64_t i = 0; i < seq.rows; ++i) {
+          const std::int64_t gi = seq.pos0 + i;  // global position
+          const auto qi = qkv.row(r0[static_cast<std::size_t>(s)] + i);
+          probs.assign(static_cast<std::size_t>(gi) + 1, 0.0f);
+          float row_max = -1e30f;
+          for (std::int64_t j = 0; j <= gi; ++j) {
+            const auto kj = ks.row(j);
+            float sc = 0.0f;
+            for (std::int64_t c = 0; c < d_head_; ++c) {
+              sc += qi[off + c] * kj[off + c];
+            }
+            sc = sc * scale + bias[gi - j];
+            probs[static_cast<std::size_t>(j)] = sc;
+            row_max = std::max(row_max, sc);
+          }
+          float denom = 0.0f;
+          for (auto& p : probs) {
+            p = std::exp(p - row_max);
+            denom += p;
+          }
+          const float inv = 1.0f / denom;
+          auto oi = concat.row(r0[static_cast<std::size_t>(s)] + i);
+          for (std::int64_t j = 0; j <= gi; ++j) {
+            const float p = probs[static_cast<std::size_t>(j)] * inv;
+            const auto vj = vs.row(j);
+            for (std::int64_t c = 0; c < d_head_; ++c) {
+              oi[off + c] += p * vj[off + c];
+            }
+          }
+        }
+      });
+  for (std::int64_t s = 0; s < n_seqs; ++s) {
+    seqs[static_cast<std::size_t>(s)].cache->k =
+        std::move(k_all[static_cast<std::size_t>(s)]);
+    seqs[static_cast<std::size_t>(s)].cache->v =
+        std::move(v_all[static_cast<std::size_t>(s)]);
+  }
+  return out_proj_.forward_keyed(concat, keys);
+}
+
 Matrix CausalSelfAttention::backward(const Matrix& dy) {
   const std::int64_t t_len = dy.rows();
   if (qkv_cache_.rows() != t_len) {

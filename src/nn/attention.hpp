@@ -15,6 +15,16 @@
 
 namespace nora::nn {
 
+/// One sequence's slice of a batched serving forward: `rows` new rows
+/// of the input matrix belong to the sequence whose per-layer cache is
+/// `cache`, starting at global position pos0 (== the cache's current
+/// length). Segments are concatenated in input-row order.
+struct AttnServeSeq {
+  KvCache::BlockCache* cache = nullptr;
+  std::int64_t pos0 = 0;
+  std::int64_t rows = 0;
+};
+
 class CausalSelfAttention {
  public:
   /// max_seq bounds the learned relative-position bias table: scores get
@@ -42,6 +52,17 @@ class CausalSelfAttention {
   /// when pos0 + T exceeds max_seq (see forward()).
   Matrix forward_cached(const Matrix& x, KvCache::BlockCache& cache,
                         std::int64_t pos0);
+
+  /// Batched serving forward: x is the row-wise concatenation of
+  /// several sequences' new rows (continuous batching: any mix of
+  /// multi-row prefills and single-row decode steps). The QKV and
+  /// output projections run once over the whole batch (one pass through
+  /// the analog tiles, keyed per row by `keys`); the softmax attention
+  /// runs per (sequence, head) against that sequence's own cache, with
+  /// the exact inner loop of forward_cached. Each sequence's output is
+  /// therefore bit-identical however the batch is composed.
+  Matrix forward_serve(const Matrix& x, std::span<const AttnServeSeq> seqs,
+                       std::span<const cim::StreamKey> keys);
 
   Linear& qkv() { return qkv_; }
   Linear& out_proj() { return out_proj_; }

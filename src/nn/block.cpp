@@ -27,6 +27,14 @@ Matrix TransformerBlock::forward_cached(const Matrix& x,
   return ops::add(h, mlp_.forward(norm2_.forward(h)));
 }
 
+Matrix TransformerBlock::forward_serve(const Matrix& x,
+                                       std::span<const AttnServeSeq> seqs,
+                                       std::span<const cim::StreamKey> keys) {
+  Matrix h =
+      ops::add(x, attn_.forward_serve(norm1_.forward(x), seqs, keys));
+  return ops::add(h, mlp_.forward_keyed(norm2_.forward(h), keys));
+}
+
 Matrix TransformerBlock::backward(const Matrix& dy) {
   // Through the MLP residual branch.
   Matrix dh = norm2_.backward(mlp_.backward(dy));

@@ -63,6 +63,20 @@ Matrix Linear::forward(const Matrix& x, bool training) {
   return y;
 }
 
+Matrix Linear::forward_keyed(const Matrix& x,
+                             std::span<const cim::StreamKey> keys) {
+  if (x.cols() != in_dim()) {
+    throw std::invalid_argument("Linear::forward_keyed: input dim mismatch (" +
+                                name_ + ")");
+  }
+  Matrix y = analog_ ? analog_->forward(x, keys)
+             : int8_ ? quant::int8_linear(x, w_.value, int8_s_, nullptr,
+                                          int8_static_scale_)
+                     : ops::matmul(x, w_.value);
+  ops::add_row_vector(y, b_.value.row(0));
+  return y;
+}
+
 Matrix Linear::backward(const Matrix& dy) {
   if (analog_ || int8_) {
     throw std::logic_error("Linear::backward: quantized backend");

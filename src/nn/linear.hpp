@@ -34,6 +34,13 @@ class Linear {
   /// (digital backend only).
   Matrix forward(const Matrix& x, bool training = false);
 
+  /// Inference forward with explicit per-row noise-stream keys (see
+  /// cim::StreamKey): the serving layer keys each row on its request's
+  /// stream and request-local position so results do not depend on
+  /// batch composition. Digital and INT8 backends are row-wise
+  /// deterministic and ignore the keys. Never captures or caches.
+  Matrix forward_keyed(const Matrix& x, std::span<const cim::StreamKey> keys);
+
   /// Backprop; accumulates dW/db, returns dX. Digital backend only.
   Matrix backward(const Matrix& dy);
 

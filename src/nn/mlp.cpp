@@ -35,6 +35,21 @@ Matrix Mlp::forward(const Matrix& x, bool training) {
   return down_.forward(h, training);
 }
 
+Matrix Mlp::forward_keyed(const Matrix& x,
+                          std::span<const cim::StreamKey> keys) {
+  Matrix u = up_.forward_keyed(x, keys);
+  Matrix h(u.rows(), u.cols());
+  if (kind_ == MlpKind::kGelu) {
+    for (std::int64_t i = 0; i < u.size(); ++i) h.data()[i] = gelu(u.data()[i]);
+  } else {
+    Matrix g = gate_->forward_keyed(x, keys);
+    for (std::int64_t i = 0; i < u.size(); ++i) {
+      h.data()[i] = silu(g.data()[i]) * u.data()[i];
+    }
+  }
+  return down_.forward_keyed(h, keys);
+}
+
 Matrix Mlp::backward(const Matrix& dy) {
   Matrix dh = down_.backward(dy);
   if (kind_ == MlpKind::kGelu) {

@@ -22,6 +22,9 @@ class Mlp {
   MlpKind kind() const { return kind_; }
 
   Matrix forward(const Matrix& x, bool training = false);
+  /// Inference forward with per-row noise-stream keys (serving path);
+  /// activations are elementwise, so only the projections care.
+  Matrix forward_keyed(const Matrix& x, std::span<const cim::StreamKey> keys);
   Matrix backward(const Matrix& dy);
 
   Linear& up() { return up_; }

@@ -102,8 +102,16 @@ Matrix TransformerLM::forward_cached(std::span<const int> tokens,
                                      KvCache& cache) {
   const std::int64_t t_new = static_cast<std::int64_t>(tokens.size());
   const std::int64_t pos0 = cache.length;
-  if (t_new == 0 || pos0 + t_new > cfg_.max_seq) {
+  if (t_new == 0) {
     throw std::invalid_argument("forward_cached: bad sequence length");
+  }
+  // Fail here, by name, before any layer state is touched — not layers
+  // deep in the attention rel_bias guard.
+  if (pos0 + t_new > cfg_.max_seq) {
+    throw KvCacheOverflow(pos0, t_new, cfg_.max_seq, "model max_seq");
+  }
+  if (cache.capacity > 0 && pos0 + t_new > cache.capacity) {
+    throw KvCacheOverflow(pos0, t_new, cache.capacity, "cache capacity");
   }
   if (cache.blocks.empty()) {
     cache.blocks.resize(blocks_.size());
@@ -127,6 +135,73 @@ Matrix TransformerLM::forward_cached(std::span<const int> tokens,
   cache.length = pos0 + t_new;
   x = final_norm_.forward(x);
   return lm_head_.forward(x);
+}
+
+Matrix TransformerLM::forward_serve(std::span<const ServeSegment> segments) {
+  // Validate every segment before touching any cache, so a bad request
+  // cannot leave the batch half-applied.
+  std::int64_t total = 0;
+  for (const ServeSegment& seg : segments) {
+    if (seg.cache == nullptr || seg.tokens.empty()) {
+      throw std::invalid_argument("forward_serve: bad segment");
+    }
+    const std::int64_t t_new = static_cast<std::int64_t>(seg.tokens.size());
+    const std::int64_t pos0 = seg.cache->length;
+    if (pos0 + t_new > cfg_.max_seq) {
+      throw KvCacheOverflow(pos0, t_new, cfg_.max_seq, "model max_seq");
+    }
+    if (seg.cache->capacity > 0 && pos0 + t_new > seg.cache->capacity) {
+      throw KvCacheOverflow(pos0, t_new, seg.cache->capacity,
+                            "cache capacity");
+    }
+    if (seg.cache->blocks.empty()) {
+      seg.cache->blocks.resize(blocks_.size());
+    } else if (seg.cache->blocks.size() != blocks_.size()) {
+      throw std::invalid_argument("forward_serve: cache from another model");
+    }
+    for (const int id : seg.tokens) {
+      if (id < 0 || id >= cfg_.vocab_size) {
+        throw std::invalid_argument("forward_serve: token id out of range");
+      }
+    }
+    total += t_new;
+  }
+  if (total == 0) {
+    throw std::invalid_argument("forward_serve: empty batch");
+  }
+  // Embeddings + per-row stream keys (request stream, request-local
+  // position): the keys make every analog tile pass independent of the
+  // batch composition.
+  Matrix x(total, cfg_.d_model);
+  std::vector<cim::StreamKey> keys(static_cast<std::size_t>(total));
+  std::vector<AttnServeSeq> seqs(segments.size());
+  std::int64_t r = 0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const ServeSegment& seg = segments[s];
+    const std::int64_t pos0 = seg.cache->length;
+    for (std::size_t t = 0; t < seg.tokens.size(); ++t) {
+      const std::int64_t pos = pos0 + static_cast<std::int64_t>(t);
+      auto xr = x.row(r);
+      const auto er = tok_emb_.value.row(seg.tokens[t]);
+      const auto pr = pos_emb_.value.row(pos);
+      for (std::int64_t c = 0; c < cfg_.d_model; ++c) xr[c] = er[c] + pr[c];
+      keys[static_cast<std::size_t>(r)] = {seg.stream,
+                                           static_cast<std::uint64_t>(pos)};
+      ++r;
+    }
+    seqs[s] = {nullptr, pos0, static_cast<std::int64_t>(seg.tokens.size())};
+  }
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      seqs[s].cache = &segments[s].cache->blocks[l];
+    }
+    x = blocks_[l].forward_serve(x, seqs, keys);
+  }
+  for (const ServeSegment& seg : segments) {
+    seg.cache->length += static_cast<std::int64_t>(seg.tokens.size());
+  }
+  x = final_norm_.forward(x);
+  return lm_head_.forward_keyed(x, keys);
 }
 
 std::vector<int> TransformerLM::generate(std::span<const int> prompt,

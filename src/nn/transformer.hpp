@@ -59,8 +59,29 @@ class TransformerLM {
 
   /// KV-cached incremental forward: append `tokens` at positions
   /// cache.length.., return their logits, and extend the cache.
-  /// Numerically identical to forward() over the full sequence.
+  /// Numerically identical to forward() over the full sequence. Throws
+  /// nn::KvCacheOverflow when the append would exceed the model's
+  /// max_seq or the cache's own capacity.
   Matrix forward_cached(std::span<const int> tokens, KvCache& cache);
+
+  /// One request's slice of a batched serving step.
+  struct ServeSegment {
+    std::span<const int> tokens;    // new tokens (prefill chunk or 1 decode)
+    KvCache* cache = nullptr;       // the request's cache (positions so far)
+    std::uint64_t stream = 0;       // request noise-stream key
+  };
+
+  /// Continuous-batching serving forward: run every segment's new
+  /// tokens through the stack in ONE pass per linear layer (the analog
+  /// tile passes are shared by the whole batch), attending each segment
+  /// against its own KV cache. Row noise is keyed on (segment stream,
+  /// request-local position) — see cim::StreamKey — so each segment's
+  /// logits are bit-identical whether it is served alone or batched
+  /// with any other segments, at any thread count. Returns the
+  /// segments' logits rows concatenated in segment order and extends
+  /// every cache. Throws nn::KvCacheOverflow on capacity/max_seq
+  /// violations before touching any state.
+  Matrix forward_serve(std::span<const ServeSegment> segments);
 
   /// Greedy decoding: consume the prompt once, then emit up to
   /// max_new_tokens (bounded by max_seq) using the KV cache.

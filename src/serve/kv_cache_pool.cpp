@@ -1,0 +1,79 @@
+#include "serve/kv_cache_pool.hpp"
+
+#include <stdexcept>
+
+namespace nora::serve {
+
+KvCachePool::KvCachePool(std::int64_t budget_tokens,
+                         std::int64_t bytes_per_token)
+    : budget_(budget_tokens), bytes_per_token_(bytes_per_token) {
+  if (budget_ <= 0) {
+    throw std::invalid_argument("KvCachePool: budget must be positive");
+  }
+}
+
+nn::KvCache* KvCachePool::acquire(std::int64_t tokens) {
+  if (tokens <= 0) {
+    throw std::invalid_argument("KvCachePool::acquire: non-positive lease");
+  }
+  std::lock_guard<std::mutex> lock(m_);
+  if (used_ + tokens > budget_) return nullptr;
+  Slab* free_slab = nullptr;
+  for (Slab& s : slabs_) {
+    if (s.lease_tokens == 0) {
+      free_slab = &s;
+      break;
+    }
+  }
+  if (free_slab == nullptr) {
+    slabs_.push_back(Slab{std::make_unique<nn::KvCache>(), 0});
+    free_slab = &slabs_.back();
+  }
+  free_slab->lease_tokens = tokens;
+  free_slab->cache->capacity = tokens;
+  used_ += tokens;
+  if (used_ > high_water_) high_water_ = used_;
+  return free_slab->cache.get();
+}
+
+void KvCachePool::release(nn::KvCache* cache) {
+  std::lock_guard<std::mutex> lock(m_);
+  for (Slab& s : slabs_) {
+    if (s.cache.get() == cache && s.lease_tokens > 0) {
+      used_ -= s.lease_tokens;
+      s.lease_tokens = 0;
+      // Trim rather than clear: the per-layer block vector survives, so
+      // the recycled slab re-enters service allocation-free.
+      cache->trim(0);
+      cache->capacity = 0;
+      return;
+    }
+  }
+  throw std::invalid_argument("KvCachePool::release: not a live lease");
+}
+
+std::int64_t KvCachePool::used_tokens() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return used_;
+}
+
+std::int64_t KvCachePool::free_tokens() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return budget_ - used_;
+}
+
+std::int64_t KvCachePool::high_water_tokens() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return high_water_;
+}
+
+std::size_t KvCachePool::live() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::size_t n = 0;
+  for (const Slab& s : slabs_) {
+    if (s.lease_tokens > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace nora::serve

@@ -1,0 +1,65 @@
+// Bounded pool of KV-cache slabs for the serving layer.
+//
+// A production server cannot let every request grow an unbounded
+// nn::KvCache: cache memory is THE capacity limit of batched LLM
+// serving. The pool owns a global token budget; a request is admitted
+// only if its worst-case cache footprint (prompt + max_new_tokens,
+// clamped to the model's max_seq) fits in the remaining budget, and its
+// slab is trimmed and recycled the moment it retires or is cancelled.
+// Slab objects themselves are reused across requests, so steady-state
+// serving does no cache (re)allocation beyond matrix growth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/kv_cache.hpp"
+
+namespace nora::serve {
+
+class KvCachePool {
+ public:
+  /// budget_tokens: total cached positions the pool may hold across all
+  /// live slabs. bytes_per_token: model-dependent cost of one cached
+  /// position (n_layers * 2 * d_model * sizeof(float)), reported in
+  /// metrics; 0 if unknown.
+  explicit KvCachePool(std::int64_t budget_tokens,
+                       std::int64_t bytes_per_token = 0);
+
+  /// Lease a slab with capacity `tokens`. Returns nullptr when the
+  /// remaining budget cannot hold it (the caller queues or rejects the
+  /// request). The returned cache is empty, with cache->capacity set,
+  /// and stays owned by the pool.
+  nn::KvCache* acquire(std::int64_t tokens);
+
+  /// Return a leased slab: its contents are trimmed away and the slab
+  /// is recycled for the next acquire. Throws std::invalid_argument for
+  /// a pointer that is not a live lease of this pool.
+  void release(nn::KvCache* cache);
+
+  std::int64_t budget_tokens() const { return budget_; }
+  std::int64_t bytes_per_token() const { return bytes_per_token_; }
+  std::int64_t used_tokens() const;
+  std::int64_t free_tokens() const;
+  /// Highest used_tokens() ever observed — never exceeds the budget.
+  std::int64_t high_water_tokens() const;
+  /// Live leases.
+  std::size_t live() const;
+
+ private:
+  struct Slab {
+    std::unique_ptr<nn::KvCache> cache;
+    std::int64_t lease_tokens = 0;  // 0 = free
+  };
+
+  mutable std::mutex m_;
+  std::int64_t budget_ = 0;
+  std::int64_t bytes_per_token_ = 0;
+  std::int64_t used_ = 0;
+  std::int64_t high_water_ = 0;
+  std::vector<Slab> slabs_;
+};
+
+}  // namespace nora::serve

@@ -1,0 +1,102 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nora::serve {
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+namespace {
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+}  // namespace
+
+std::string Metrics::to_string() const {
+  std::string s;
+  s += "serving metrics\n";
+  s += "  requests: " + std::to_string(submitted) + " submitted, " +
+       std::to_string(finished) + " finished, " + std::to_string(cancelled) +
+       " cancelled, " + std::to_string(expired) + " expired, " +
+       std::to_string(rejected) + " rejected\n";
+  s += "  tokens:   " + std::to_string(prompt_tokens) + " prompt, " +
+       std::to_string(generated_tokens) + " generated";
+  if (wall_s > 0.0) {
+    s += " (" + fmt("%.1f", tokens_per_s()) + " tok/s over " +
+         fmt("%.2f", wall_s) + " s)";
+  }
+  s += "\n";
+  s += "  batching: " + std::to_string(busy_steps) + " busy steps / " +
+       std::to_string(steps) + " steps, mean occupancy " +
+       fmt("%.2f", mean_occupancy()) + ", max " +
+       std::to_string(max_occupancy) + "\n";
+  s += "  latency:  queue wait mean " + fmt("%.2f", mean_queue_wait_steps()) +
+       " steps; TTFT p50 " + fmt("%.4f", ttft_p50_s()) + " s, p95 " +
+       fmt("%.4f", ttft_p95_s()) + " s\n";
+  s += "  kv pool:  " + std::to_string(kv_used_tokens) + " / " +
+       std::to_string(kv_budget_tokens) + " tokens in use, high water " +
+       std::to_string(kv_high_water_tokens) + " tokens";
+  if (kv_bytes_per_token > 0) {
+    s += " (" +
+         fmt("%.1f", static_cast<double>(kv_high_water_tokens *
+                                         kv_bytes_per_token) /
+                         1024.0) +
+         " KiB)";
+  }
+  s += "\n";
+  s += "  monitor:  " + std::to_string(monitor_inspections) +
+       " inspections, " + std::to_string(monitor_actions) + " actions\n";
+  return s;
+}
+
+std::string Metrics::to_json() const {
+  std::string s = "{";
+  auto add_i = [&s](const char* k, std::int64_t v, bool comma = true) {
+    s += std::string("\"") + k + "\":" + std::to_string(v);
+    if (comma) s += ",";
+  };
+  auto add_d = [&s](const char* k, double v, bool comma = true) {
+    s += std::string("\"") + k + "\":" + fmt("%.6g", v);
+    if (comma) s += ",";
+  };
+  add_i("submitted", submitted);
+  add_i("admitted", admitted);
+  add_i("finished", finished);
+  add_i("cancelled", cancelled);
+  add_i("expired", expired);
+  add_i("rejected", rejected);
+  add_i("steps", steps);
+  add_i("busy_steps", busy_steps);
+  add_d("mean_occupancy", mean_occupancy());
+  add_i("max_occupancy", max_occupancy);
+  add_i("prompt_tokens", prompt_tokens);
+  add_i("generated_tokens", generated_tokens);
+  add_d("wall_s", wall_s);
+  add_d("tokens_per_s", tokens_per_s());
+  add_d("mean_queue_wait_steps", mean_queue_wait_steps());
+  add_d("ttft_p50_s", ttft_p50_s());
+  add_d("ttft_p95_s", ttft_p95_s());
+  add_i("kv_budget_tokens", kv_budget_tokens);
+  add_i("kv_used_tokens", kv_used_tokens);
+  add_i("kv_high_water_tokens", kv_high_water_tokens);
+  add_i("kv_bytes_per_token", kv_bytes_per_token);
+  add_i("monitor_inspections", monitor_inspections);
+  add_i("monitor_actions", monitor_actions, /*comma=*/false);
+  s += "}";
+  return s;
+}
+
+}  // namespace nora::serve

@@ -1,0 +1,77 @@
+// Serving metrics: per-request latency records and aggregate counters
+// for the continuous-batching scheduler.
+//
+// Latencies are tracked on two clocks. The *step* clock (scheduler
+// decode iterations) is fully deterministic and is what tests assert
+// on; the *wall* clock feeds the operator-facing throughput and
+// time-to-first-token numbers the serve_throughput bench reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nora::serve {
+
+/// q-th percentile (q in [0,1]) with linear interpolation; 0 on empty.
+double percentile(std::vector<double> values, double q);
+
+struct Metrics {
+  // Request outcomes.
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t finished = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t expired = 0;
+  std::int64_t rejected = 0;
+
+  // Scheduler activity.
+  std::int64_t steps = 0;       // step() calls that had any work to consider
+  std::int64_t busy_steps = 0;  // steps that ran a decode batch
+  double occupancy_sum = 0.0;   // batch size summed over busy steps
+  std::int64_t max_occupancy = 0;
+
+  // Token accounting.
+  std::int64_t prompt_tokens = 0;     // prefilled tokens of admitted requests
+  std::int64_t generated_tokens = 0;  // emitted by finished+cancelled+expired
+
+  // Latency aggregates (deterministic step clock).
+  double queue_wait_steps_sum = 0.0;  // submit -> admission, admitted requests
+  double ttft_steps_sum = 0.0;        // submit -> first token
+  // Wall-clock samples for percentiles (one per request that produced
+  // its first token / finished).
+  std::vector<double> ttft_s;
+  std::vector<double> request_wall_s;
+  double wall_s = 0.0;  // total serving wall time spent inside step()
+
+  // KV pool accounting (tokens; bytes = tokens * kv_bytes_per_token).
+  std::int64_t kv_budget_tokens = 0;
+  std::int64_t kv_used_tokens = 0;
+  std::int64_t kv_high_water_tokens = 0;
+  std::int64_t kv_bytes_per_token = 0;
+
+  // Integrity-monitor interaction.
+  std::int64_t monitor_inspections = 0;
+  std::int64_t monitor_actions = 0;  // rereads + refreshes + fallbacks
+
+  double mean_occupancy() const {
+    return busy_steps > 0 ? occupancy_sum / static_cast<double>(busy_steps)
+                          : 0.0;
+  }
+  double mean_queue_wait_steps() const {
+    return admitted > 0 ? queue_wait_steps_sum / static_cast<double>(admitted)
+                        : 0.0;
+  }
+  double tokens_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(generated_tokens) / wall_s : 0.0;
+  }
+  double ttft_p50_s() const { return percentile(ttft_s, 0.5); }
+  double ttft_p95_s() const { return percentile(ttft_s, 0.95); }
+
+  /// Multi-line human-readable dump.
+  std::string to_string() const;
+  /// Single JSON object (stable key order, machine-readable).
+  std::string to_json() const;
+};
+
+}  // namespace nora::serve

@@ -1,0 +1,383 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nora::serve {
+
+const char* to_string(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kRunning: return "running";
+    case RequestState::kFinished: return "finished";
+    case RequestState::kCancelled: return "cancelled";
+    case RequestState::kExpired: return "expired";
+    case RequestState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+namespace {
+std::int64_t kv_bytes_per_token(const nn::TransformerConfig& cfg) {
+  // One cached position: K and V rows of d_model floats in every layer.
+  return cfg.n_layers * 2 * cfg.d_model *
+         static_cast<std::int64_t>(sizeof(float));
+}
+}  // namespace
+
+Scheduler::Scheduler(nn::TransformerLM& model, SchedulerConfig cfg)
+    : model_(model),
+      cfg_(cfg),
+      pool_(cfg.kv_budget_tokens > 0
+                ? cfg.kv_budget_tokens
+                : static_cast<std::int64_t>(std::max(cfg.max_batch, 1)) *
+                      model.config().max_seq,
+            kv_bytes_per_token(model.config())),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (cfg_.max_batch < 1) {
+    throw std::invalid_argument("Scheduler: max_batch must be >= 1");
+  }
+  if (cfg_.step_dt_s < 0.0f) {
+    throw std::invalid_argument("Scheduler: negative step_dt_s");
+  }
+  metrics_.kv_budget_tokens = pool_.budget_tokens();
+  metrics_.kv_bytes_per_token = pool_.bytes_per_token();
+}
+
+double Scheduler::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::int64_t Scheduler::footprint(const RequestParams& p) const {
+  // Worst-case cache length: the whole prompt plus every new token
+  // except the last (which is emitted without being appended), clamped
+  // to the model's hard ceiling.
+  const std::int64_t want = static_cast<std::int64_t>(p.prompt.size()) +
+                            static_cast<std::int64_t>(p.max_new_tokens) - 1;
+  return std::min(want, model_.config().max_seq);
+}
+
+std::int64_t Scheduler::submit(RequestParams params) {
+  std::lock_guard<std::mutex> lock(m_);
+  const std::int64_t id = next_id_++;
+  RequestRecord rec;
+  rec.id = id;
+  rec.prompt_tokens = static_cast<std::int64_t>(params.prompt.size());
+  rec.submit_step = step_;
+  rec.stream = params.stream_seed != 0
+                   ? params.stream_seed
+                   : util::derive_stream(
+                         util::derive_seed(cfg_.seed, "serve-request"),
+                         static_cast<std::uint64_t>(id));
+  ++metrics_.submitted;
+  submit_s_.push_back(now_s());
+
+  std::string reason;
+  if (params.prompt.empty()) {
+    reason = "empty prompt";
+  } else if (params.max_new_tokens <= 0) {
+    reason = "non-positive max_new_tokens";
+  } else if (static_cast<std::int64_t>(params.prompt.size()) >=
+             model_.config().max_seq) {
+    reason = "prompt leaves no room under max_seq";
+  } else if (footprint(params) > pool_.budget_tokens()) {
+    reason = "KV footprint exceeds pool budget";
+  } else if (cfg_.queue_capacity > 0 &&
+             queue_.size() >= cfg_.queue_capacity) {
+    reason = "queue full";
+  }
+  if (!reason.empty()) {
+    rec.state = RequestState::kRejected;
+    rec.reject_reason = std::move(reason);
+    rec.finish_step = step_;
+    ++metrics_.rejected;
+    records_.push_back(std::move(rec));
+    return id;
+  }
+
+  rec.state = RequestState::kQueued;
+  records_.push_back(std::move(rec));
+  // Stash the params on the record's running twin at admission time; the
+  // queue holds only ids, the prompt lives in params_.
+  params_.push_back({id, std::move(params)});
+  queue_.push_back(id);
+  return id;
+}
+
+bool Scheduler::cancel(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (id < 0 || id >= static_cast<std::int64_t>(records_.size())) return false;
+  const RequestState s = records_[static_cast<std::size_t>(id)].state;
+  if (s != RequestState::kQueued && s != RequestState::kRunning) return false;
+  cancels_.push_back(id);
+  return true;
+}
+
+void Scheduler::retire_locked(Active& a, RequestState state) {
+  RequestRecord& rec = records_[static_cast<std::size_t>(a.id)];
+  rec.state = state;
+  rec.finish_step = step_;
+  rec.wall_s = now_s() - submit_s_[static_cast<std::size_t>(a.id)];
+  metrics_.request_wall_s.push_back(rec.wall_s);
+  metrics_.generated_tokens += static_cast<std::int64_t>(rec.tokens.size());
+  if (a.cache != nullptr) {
+    pool_.release(a.cache);
+    a.cache = nullptr;
+  }
+  switch (state) {
+    case RequestState::kFinished: ++metrics_.finished; break;
+    case RequestState::kCancelled: ++metrics_.cancelled; break;
+    case RequestState::kExpired: ++metrics_.expired; break;
+    default: break;
+  }
+}
+
+bool Scheduler::admit_locked() {
+  bool admitted_any = false;
+  while (!queue_.empty() &&
+         static_cast<int>(running_.size()) < cfg_.max_batch) {
+    const std::int64_t id = queue_.front();
+    RequestRecord& rec = records_[static_cast<std::size_t>(id)];
+    auto pit = std::find_if(params_.begin(), params_.end(),
+                            [&](const Pending& p) { return p.id == id; });
+    if (rec.state != RequestState::kQueued || pit == params_.end()) {
+      // Cancelled / expired while queued; params already dropped.
+      queue_.pop_front();
+      continue;
+    }
+    nn::KvCache* cache = pool_.acquire(footprint(pit->params));
+    if (cache == nullptr) {
+      if (cfg_.reject_on_pool_full) {
+        rec.state = RequestState::kRejected;
+        rec.reject_reason = "KV pool full";
+        rec.finish_step = step_;
+        ++metrics_.rejected;
+        params_.erase(pit);
+        queue_.pop_front();
+        continue;
+      }
+      // FIFO: wait for retirements to free budget rather than letting a
+      // smaller request overtake the head of the queue.
+      break;
+    }
+    rec.state = RequestState::kRunning;
+    rec.start_step = step_;
+    ++metrics_.admitted;
+    metrics_.prompt_tokens += rec.prompt_tokens;
+    metrics_.queue_wait_steps_sum +=
+        static_cast<double>(step_ - rec.submit_step);
+    Active a;
+    a.id = id;
+    a.cache = cache;
+    a.pending = std::move(pit->params.prompt);
+    a.remaining = pit->params.max_new_tokens;
+    a.deadline_step = pit->params.deadline_steps > 0
+                          ? rec.submit_step + pit->params.deadline_steps
+                          : -1;
+    params_.erase(pit);
+    queue_.pop_front();
+    running_.push_back(std::move(a));
+    admitted_any = true;
+  }
+  return admitted_any;
+}
+
+bool Scheduler::step() {
+  std::unique_lock<std::mutex> lock(m_);
+  // 1. Cancels flagged since the previous step.
+  for (const std::int64_t id : cancels_) {
+    RequestRecord& rec = records_[static_cast<std::size_t>(id)];
+    if (rec.state == RequestState::kQueued) {
+      rec.state = RequestState::kCancelled;
+      rec.finish_step = step_;
+      ++metrics_.cancelled;
+      params_.erase(std::remove_if(params_.begin(), params_.end(),
+                                   [&](const Pending& p) {
+                                     return p.id == id;
+                                   }),
+                    params_.end());
+    } else if (rec.state == RequestState::kRunning) {
+      auto it = std::find_if(running_.begin(), running_.end(),
+                             [&](const Active& a) { return a.id == id; });
+      if (it != running_.end()) {
+        retire_locked(*it, RequestState::kCancelled);
+        running_.erase(it);
+      }
+    }
+  }
+  cancels_.clear();
+  // 2. Deadlines (queued and running alike; expiry frees the slab).
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->deadline_step >= 0 && step_ >= it->deadline_step) {
+      retire_locked(*it, RequestState::kExpired);
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto qit = queue_.begin(); qit != queue_.end();) {
+    const std::int64_t id = *qit;
+    RequestRecord& rec = records_[static_cast<std::size_t>(id)];
+    auto pit = std::find_if(params_.begin(), params_.end(),
+                            [&](const Pending& p) { return p.id == id; });
+    const bool expired =
+        rec.state == RequestState::kQueued && pit != params_.end() &&
+        pit->params.deadline_steps > 0 &&
+        step_ >= rec.submit_step + pit->params.deadline_steps;
+    if (expired) {
+      rec.state = RequestState::kExpired;
+      rec.finish_step = step_;
+      ++metrics_.expired;
+      params_.erase(pit);
+      qit = queue_.erase(qit);
+    } else {
+      ++qit;
+    }
+  }
+  // 3. Admission.
+  admit_locked();
+  if (running_.empty()) {
+    const bool more = !queue_.empty();
+    if (more) {
+      // Starved tick (head-of-line blocked on the pool) still advances
+      // the step clock, so deadlines keep counting down.
+      ++step_;
+      ++metrics_.steps;
+    }
+    return more;
+  }
+  ++metrics_.steps;
+  ++metrics_.busy_steps;
+  metrics_.occupancy_sum += static_cast<double>(running_.size());
+  metrics_.max_occupancy = std::max(
+      metrics_.max_occupancy, static_cast<std::int64_t>(running_.size()));
+
+  // 4. Build the batch. Per-request state is only read here; the model
+  // call below runs without the lock so submit()/cancel() never block on
+  // a decode step.
+  std::vector<nn::TransformerLM::ServeSegment> segments;
+  segments.reserve(running_.size());
+  for (Active& a : running_) {
+    segments.push_back({std::span<const int>(a.pending),
+                        a.cache,
+                        records_[static_cast<std::size_t>(a.id)].stream});
+  }
+  lock.unlock();
+  const auto t0 = std::chrono::steady_clock::now();
+  Matrix logits = model_.forward_serve(segments);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  lock.lock();
+  metrics_.wall_s += dt;
+
+  // 5. Harvest: greedy argmax of each segment's last row.
+  const std::int64_t vocab = model_.config().vocab_size;
+  std::int64_t row = 0;
+  std::vector<Active> keep;
+  keep.reserve(running_.size());
+  for (Active& a : running_) {
+    row += static_cast<std::int64_t>(a.pending.size());
+    const auto last = logits.row(row - 1);
+    int best = 0;
+    for (std::int64_t v = 1; v < vocab; ++v) {
+      if (last[v] > last[best]) best = static_cast<int>(v);
+    }
+    RequestRecord& rec = records_[static_cast<std::size_t>(a.id)];
+    rec.tokens.push_back(best);
+    if (cfg_.record_logits) {
+      rec.logits.emplace_back(last.begin(), last.end());
+    }
+    if (rec.first_token_step < 0) {
+      rec.first_token_step = step_ + 1;
+      metrics_.ttft_steps_sum +=
+          static_cast<double>(rec.first_token_step - rec.submit_step);
+      rec.ttft_s = now_s() - submit_s_[static_cast<std::size_t>(a.id)];
+      metrics_.ttft_s.push_back(rec.ttft_s);
+    }
+    a.pending.assign(1, best);
+    --a.remaining;
+    // Done when the token budget is spent or the next decode step could
+    // not fit (its input token would overflow cache capacity / max_seq).
+    const std::int64_t next_len = a.cache->length + 1;
+    const bool full = next_len > model_.config().max_seq ||
+                      (a.cache->capacity > 0 && next_len > a.cache->capacity);
+    if (a.remaining <= 0 || full) {
+      retire_locked(a, RequestState::kFinished);
+    } else {
+      keep.push_back(std::move(a));
+    }
+  }
+  running_ = std::move(keep);
+  ++step_;
+
+  // 6. Integrity-monitor hook: fold serving time into the drift clock
+  // and let ABFT statistics gathered from live traffic drive the
+  // escalation ladder. Runs between batches, so in-flight requests see
+  // a refreshed (or fallen-back) layer only at the next step boundary —
+  // their caches and stream keys are untouched.
+  if (cfg_.monitor != nullptr && cfg_.inspect_every > 0) {
+    dt_accum_s_ += cfg_.step_dt_s;
+    if (++busy_since_inspect_ >= cfg_.inspect_every) {
+      busy_since_inspect_ = 0;
+      if (dt_accum_s_ > 0.0) {
+        metrics_.monitor_actions += cfg_.monitor->advance_to(
+            cfg_.monitor->now() + static_cast<float>(dt_accum_s_));
+        dt_accum_s_ = 0.0;
+      }
+      ++metrics_.monitor_inspections;
+      metrics_.monitor_actions += cfg_.monitor->inspect();
+    }
+  }
+  return !running_.empty() || !queue_.empty();
+}
+
+std::int64_t Scheduler::run_until_idle() {
+  std::int64_t n = 0;
+  while (step()) ++n;
+  return n + 1;  // the final returning-false call still did bookkeeping
+}
+
+RequestRecord Scheduler::request(std::int64_t id) const {
+  std::lock_guard<std::mutex> lock(m_);
+  if (id < 0 || id >= static_cast<std::int64_t>(records_.size())) {
+    throw std::out_of_range("Scheduler::request: unknown id");
+  }
+  return records_[static_cast<std::size_t>(id)];
+}
+
+std::vector<RequestRecord> Scheduler::completed() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<RequestRecord> out;
+  for (const RequestRecord& r : records_) {
+    if (r.state != RequestState::kQueued && r.state != RequestState::kRunning) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::int64_t Scheduler::current_step() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return step_;
+}
+
+std::size_t Scheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return queue_.size() + running_.size();
+}
+
+Metrics Scheduler::metrics() const {
+  std::lock_guard<std::mutex> lock(m_);
+  Metrics m = metrics_;
+  m.kv_used_tokens = pool_.used_tokens();
+  m.kv_high_water_tokens = pool_.high_water_tokens();
+  return m;
+}
+
+}  // namespace nora::serve

@@ -1,0 +1,186 @@
+// Continuous-batching scheduler over the analog transformer.
+//
+// Requests (prompt, max_new_tokens, optional deadline) enter a FIFO
+// queue; each step() the scheduler admits queued requests into the
+// running batch as slots and KV budget allow, then drives ONE
+// TransformerLM::forward_serve over the whole batch — newly admitted
+// requests contribute their full prompt as a prefill segment, running
+// requests contribute their single next-token decode segment. A request
+// joins at any step and retires the moment it is done; its KV slab goes
+// straight back to the pool, so the batch recomposes continuously
+// instead of draining in static generations.
+//
+// Determinism contract: each request's noise stream is keyed on its own
+// (stream seed, request-local position) — see cim::StreamKey — so its
+// tokens AND logits are bit-identical whether it is served alone,
+// batched with any mix of other requests, or replayed across runs, at
+// any thread-pool width. Scheduling decisions use only the deterministic
+// step counter; wall time feeds metrics exclusively.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/transformer.hpp"
+#include "runtime/integrity_monitor.hpp"
+#include "serve/kv_cache_pool.hpp"
+#include "serve/metrics.hpp"
+
+namespace nora::serve {
+
+enum class RequestState {
+  kQueued,     // accepted, waiting for a batch slot / KV slab
+  kRunning,    // admitted; holds a KV slab, decoding
+  kFinished,   // emitted max_new_tokens (or hit its cache capacity)
+  kCancelled,  // cancel() before finishing; partial output kept
+  kExpired,    // deadline passed before finishing
+  kRejected,   // refused at submit (invalid / queue full / pool policy)
+};
+
+const char* to_string(RequestState state);
+
+struct RequestParams {
+  std::vector<int> prompt;
+  int max_new_tokens = 8;
+  /// Steps after submission by which the request must FINISH; 0 = none.
+  std::int64_t deadline_steps = 0;
+  /// Noise-stream key for this request's rows; 0 derives one from the
+  /// scheduler seed and the request id. Two requests with the same seed
+  /// and prompt produce identical output — that is the reproducibility
+  /// hook, not a bug.
+  std::uint64_t stream_seed = 0;
+};
+
+struct RequestRecord {
+  std::int64_t id = -1;
+  RequestState state = RequestState::kQueued;
+  std::uint64_t stream = 0;
+  std::vector<int> tokens;  // generated so far (partial on cancel/expire)
+  /// Last-position logits row per generated token (record_logits only) —
+  /// what the batch-invariance property test compares bitwise.
+  std::vector<std::vector<float>> logits;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t submit_step = -1;
+  std::int64_t start_step = -1;        // admission step
+  std::int64_t first_token_step = -1;  // TTFT on the step clock
+  std::int64_t finish_step = -1;
+  double ttft_s = 0.0;
+  double wall_s = 0.0;
+  std::string reject_reason;
+};
+
+struct SchedulerConfig {
+  /// Max concurrently running (decoding) requests per step.
+  int max_batch = 8;
+  /// KV pool budget in tokens; 0 = max_batch * model max_seq.
+  std::int64_t kv_budget_tokens = 0;
+  /// Max requests waiting in the queue (admitted + running excluded);
+  /// submissions beyond this are rejected. 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// When the pool cannot hold a request's worst-case footprint at
+  /// admission time: true = reject it outright, false = leave it queued
+  /// until retirements free budget (head-of-line blocking, no overtake —
+  /// FIFO fairness over utilization).
+  bool reject_on_pool_full = false;
+  /// Keep per-token logits rows in RequestRecord (tests only; memory!).
+  bool record_logits = false;
+  /// Base seed for derived per-request noise streams.
+  std::uint64_t seed = 7102;
+  /// Optional runtime integrity monitor over the (analog) model. The
+  /// scheduler calls inspect() every inspect_every busy steps, so ABFT
+  /// flags raised by serving traffic trigger the re-read / refresh /
+  /// fallback ladder mid-serve. In-flight requests keep their KV caches
+  /// and stream keys across an action, so decoding continues unharmed.
+  runtime::IntegrityMonitor* monitor = nullptr;
+  /// Virtual seconds of serving time one busy step represents; when > 0
+  /// the scheduler advances the monitor's drift clock before inspecting.
+  float step_dt_s = 0.0f;
+  /// Busy steps between monitor inspections; 0 disables the hook.
+  int inspect_every = 0;
+};
+
+/// FIFO queue + continuous batcher. All public methods are thread-safe;
+/// step() itself must be called from one thread at a time (the serving
+/// loop), while submit()/cancel() may race it from any thread.
+class Scheduler {
+ public:
+  Scheduler(nn::TransformerLM& model, SchedulerConfig cfg = {});
+
+  /// Enqueue a request. Always returns a request id; invalid requests
+  /// (empty prompt, non-positive max_new_tokens, prompt that cannot fit
+  /// max_seq, footprint larger than the whole pool, queue full) are
+  /// recorded as kRejected with a reason instead of throwing.
+  std::int64_t submit(RequestParams params);
+
+  /// Request cancellation; takes effect at the next step() boundary.
+  /// Returns false for unknown or already-terminal ids.
+  bool cancel(std::int64_t id);
+
+  /// Run one scheduling round: apply cancels/deadlines, admit from the
+  /// queue, run one batched decode step, retire finished requests.
+  /// Returns true if any request is still queued or running afterwards.
+  bool step();
+
+  /// step() until idle; returns the number of steps taken.
+  std::int64_t run_until_idle();
+
+  /// Snapshot of one request (throws std::out_of_range on unknown id).
+  RequestRecord request(std::int64_t id) const;
+  /// Terminal states only: finished + cancelled + expired + rejected.
+  std::vector<RequestRecord> completed() const;
+
+  std::int64_t current_step() const;
+  /// Running + queued request count.
+  std::size_t in_flight() const;
+
+  /// Aggregate metrics snapshot (KV pool fields filled from the pool).
+  Metrics metrics() const;
+
+  const KvCachePool& pool() const { return pool_; }
+  const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  struct Active {
+    std::int64_t id = -1;
+    nn::KvCache* cache = nullptr;  // leased from pool_ while running
+    std::vector<int> pending;      // tokens to feed next step
+    int remaining = 0;             // new tokens still to emit
+    std::int64_t deadline_step = -1;  // absolute; -1 = none
+  };
+  /// Accepted-but-not-admitted request payloads (queue_ holds only ids).
+  struct Pending {
+    std::int64_t id = -1;
+    RequestParams params;
+  };
+
+  // All helpers below assume m_ is held.
+  std::int64_t footprint(const RequestParams& p) const;
+  double now_s() const;
+  void retire_locked(Active& a, RequestState state);
+  bool admit_locked();
+
+  nn::TransformerLM& model_;
+  SchedulerConfig cfg_;
+  KvCachePool pool_;
+
+  mutable std::mutex m_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::int64_t next_id_ = 0;
+  std::int64_t step_ = 0;
+  std::deque<std::int64_t> queue_;    // ids waiting for admission
+  std::vector<Pending> params_;       // payloads of queued requests
+  std::vector<Active> running_;       // current batch, admission order
+  std::vector<std::int64_t> cancels_;  // ids flagged since last step
+  std::vector<RequestRecord> records_;  // indexed by id
+  std::vector<double> submit_s_;      // wall submit time per id (epoch-rel)
+  Metrics metrics_;
+  int busy_since_inspect_ = 0;
+  double dt_accum_s_ = 0.0;
+};
+
+}  // namespace nora::serve

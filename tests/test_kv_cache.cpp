@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "cim/tile_config.hpp"
 #include "nn/transformer.hpp"
@@ -96,6 +97,67 @@ TEST(KvCache, ValidatesUsage) {
   foreign.blocks.resize(5);
   EXPECT_THROW(model.forward_cached(std::vector<int>{1}, foreign),
                std::invalid_argument);
+}
+
+TEST(KvCache, TrimRewindsAndReplaysBitIdentically) {
+  TransformerLM model = make_model();
+  const std::vector<int> head(kTokens.begin(), kTokens.begin() + 3);
+  const std::vector<int> rest(kTokens.begin() + 3, kTokens.end());
+  KvCache cache;
+  model.forward_cached(head, cache);
+  const Matrix tail1 = model.forward_cached(rest, cache);
+  EXPECT_EQ(cache.length, 8);
+  const std::int64_t bytes_full = cache.bytes();
+  // Rewind past the tail and replay it: same cache state, same math,
+  // bit-identical logits.
+  cache.trim(3);
+  EXPECT_EQ(cache.length, 3);
+  EXPECT_LT(cache.bytes(), bytes_full);
+  const Matrix tail2 = model.forward_cached(rest, cache);
+  ASSERT_TRUE(tail1.same_shape(tail2));
+  EXPECT_EQ(std::memcmp(tail1.data(), tail2.data(),
+                        sizeof(float) * static_cast<std::size_t>(tail1.size())),
+            0);
+}
+
+TEST(KvCache, TrimValidates) {
+  TransformerLM model = make_model();
+  KvCache cache;
+  model.forward_cached(kTokens, cache);
+  EXPECT_THROW(cache.trim(-1), std::invalid_argument);
+  cache.trim(cache.length);  // no-op
+  EXPECT_EQ(cache.length, 8);
+  cache.trim(100);  // longer than length: also a no-op
+  EXPECT_EQ(cache.length, 8);
+  cache.trim(0);
+  EXPECT_EQ(cache.length, 0);
+  EXPECT_EQ(cache.bytes(), 0);
+  // An emptied cache is immediately reusable.
+  const Matrix again = model.forward_cached(kTokens, cache);
+  EXPECT_EQ(cache.length, 8);
+  EXPECT_EQ(again.rows(), 8);
+}
+
+TEST(KvCache, CapacityGuardThrowsNamedErrorBeforeTouchingState) {
+  TransformerLM model = make_model();
+  KvCache cache;
+  cache.capacity = 4;
+  model.forward_cached(std::vector<int>{1, 2, 3}, cache);
+  EXPECT_EQ(cache.length, 3);
+  // 2 more tokens would need length 5 > capacity 4: named error, cache
+  // untouched.
+  EXPECT_THROW(model.forward_cached(std::vector<int>{4, 5}, cache),
+               KvCacheOverflow);
+  EXPECT_EQ(cache.length, 3);
+  // One more token exactly fills the capacity.
+  model.forward_cached(std::vector<int>{4}, cache);
+  EXPECT_EQ(cache.length, 4);
+  EXPECT_THROW(model.forward_cached(std::vector<int>{5}, cache),
+               KvCacheOverflow);
+  // The model-level max_seq guard is the same named error.
+  KvCache fresh;
+  EXPECT_THROW(model.forward_cached(std::vector<int>(17, 1), fresh),
+               KvCacheOverflow);
 }
 
 TEST(Generate, GreedyMatchesRepeatedPredictNext) {

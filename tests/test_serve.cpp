@@ -1,0 +1,452 @@
+// Continuous-batching serving layer tests.
+//
+// The headline property: a request's output (tokens AND logits) is
+// bit-identical whether it is served alone or continuously batched with
+// any mix of other requests, at any thread-pool width — because every
+// noise draw is keyed on (request stream, request-local position), not
+// on batch row or arrival order. The rest covers the scheduler's state
+// machine (cancel, deadline, pool exhaustion, retirement) and the
+// mid-serve integrity-monitor hook.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cim/tile_config.hpp"
+#include "nn/transformer.hpp"
+#include "runtime/integrity_monitor.hpp"
+#include "serve/scheduler.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nora::serve {
+namespace {
+
+nn::TransformerConfig tiny_arch() {
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 30;
+  cfg.d_model = 24;
+  cfg.n_layers = 2;
+  cfg.n_heads = 3;
+  cfg.d_ff = 48;
+  cfg.max_seq = 32;
+  cfg.seed = 77;
+  return cfg;
+}
+
+/// Noisy analog operating point with ABFT on, sized so the tiny model
+/// spans several tile blocks.
+cim::TileConfig noisy_tiles(int n_threads) {
+  cim::TileConfig cfg = cim::TileConfig::paper_table2();
+  cfg.tile_rows = 16;
+  cfg.tile_cols = 12;
+  cfg.in_noise = 0.02f;
+  cfg.abft_checksum = true;
+  cfg.n_threads = n_threads;
+  return cfg;
+}
+
+nn::TransformerLM make_analog_model(const cim::TileConfig& tile) {
+  nn::TransformerLM model(tiny_arch());
+  std::uint64_t seed = 900;
+  for (auto* lin : model.linear_layers()) {
+    lin->to_analog(tile, {}, seed++);
+  }
+  return model;
+}
+
+struct Job {
+  std::vector<int> prompt;
+  int max_new = 6;
+  std::uint64_t stream = 0;
+};
+
+const std::vector<Job> kJobs{
+    {{3, 1, 4, 1, 5}, 6, 101},
+    {{2, 7, 1, 8}, 6, 102},
+    {{9, 9, 9}, 6, 103},
+    {{1, 2, 3, 4, 5, 6}, 6, 104},
+};
+
+/// Serve `jobs` (optionally in a permuted submission order) and return
+/// the finished records keyed by stream seed, in kJobs order.
+std::vector<RequestRecord> serve_jobs(nn::TransformerLM& model, int max_batch,
+                                      const std::vector<std::size_t>& order) {
+  SchedulerConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.record_logits = true;
+  Scheduler sched(model, cfg);
+  std::vector<std::int64_t> ids(kJobs.size());
+  for (const std::size_t j : order) {
+    RequestParams p;
+    p.prompt = kJobs[j].prompt;
+    p.max_new_tokens = kJobs[j].max_new;
+    p.stream_seed = kJobs[j].stream;
+    ids[j] = sched.submit(std::move(p));
+  }
+  sched.run_until_idle();
+  std::vector<RequestRecord> out;
+  for (std::size_t j = 0; j < kJobs.size(); ++j) {
+    out.push_back(sched.request(ids[j]));
+    EXPECT_EQ(out.back().state, RequestState::kFinished);
+  }
+  return out;
+}
+
+bool logits_bitwise_equal(const RequestRecord& a, const RequestRecord& b) {
+  if (a.logits.size() != b.logits.size()) return false;
+  for (std::size_t t = 0; t < a.logits.size(); ++t) {
+    if (a.logits[t].size() != b.logits[t].size()) return false;
+    if (std::memcmp(a.logits[t].data(), b.logits[t].data(),
+                    sizeof(float) * a.logits[t].size()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- the tentpole property -------------------------------------------
+
+TEST(ServeBatchInvariance, TokensAndLogitsMatchAloneVsBatchedAnyThreads) {
+  const std::vector<std::size_t> fifo{0, 1, 2, 3};
+  const std::vector<std::size_t> reversed{3, 2, 1, 0};
+  // Reference: one-at-a-time serving (max_batch 1), serial pool.
+  util::ThreadPool::global().resize(1);
+  nn::TransformerLM ref_model = make_analog_model(noisy_tiles(1));
+  const auto ref = serve_jobs(ref_model, /*max_batch=*/1, fifo);
+  for (const auto& r : ref) {
+    ASSERT_EQ(r.tokens.size(), 6u);
+    ASSERT_EQ(r.logits.size(), 6u);
+  }
+  // Fully batched on a wider pool, FIFO and reversed submission order:
+  // same requests, different batch compositions every step.
+  struct Case {
+    int threads;
+    int max_batch;
+    const std::vector<std::size_t>* order;
+  };
+  const Case cases[] = {{3, 4, &fifo}, {1, 2, &reversed}, {3, 4, &reversed}};
+  for (const Case& c : cases) {
+    util::ThreadPool::global().resize(c.threads);
+    nn::TransformerLM model = make_analog_model(noisy_tiles(c.threads));
+    const auto got = serve_jobs(model, c.max_batch, *c.order);
+    for (std::size_t j = 0; j < kJobs.size(); ++j) {
+      EXPECT_EQ(got[j].tokens, ref[j].tokens)
+          << "job " << j << " threads=" << c.threads
+          << " batch=" << c.max_batch;
+      EXPECT_TRUE(logits_bitwise_equal(got[j], ref[j]))
+          << "job " << j << " threads=" << c.threads
+          << " batch=" << c.max_batch;
+    }
+  }
+  util::ThreadPool::global().resize(1);
+}
+
+TEST(ServeBatchInvariance, NoiseIsLiveAndStreamKeyed) {
+  // Same prompt, different stream seeds: the analog noise must actually
+  // differ (otherwise the invariance property above is vacuous).
+  util::ThreadPool::global().resize(1);
+  nn::TransformerLM model = make_analog_model(noisy_tiles(1));
+  SchedulerConfig cfg;
+  cfg.record_logits = true;
+  Scheduler sched(model, cfg);
+  RequestParams a;
+  a.prompt = {3, 1, 4, 1, 5};
+  a.max_new_tokens = 4;
+  a.stream_seed = 501;
+  RequestParams b = a;
+  b.stream_seed = 502;
+  RequestParams a2 = a;  // identical stream: identical request
+  const auto ia = sched.submit(std::move(a));
+  const auto ib = sched.submit(std::move(b));
+  const auto ia2 = sched.submit(std::move(a2));
+  sched.run_until_idle();
+  EXPECT_FALSE(logits_bitwise_equal(sched.request(ia), sched.request(ib)));
+  EXPECT_TRUE(logits_bitwise_equal(sched.request(ia), sched.request(ia2)));
+  EXPECT_EQ(sched.request(ia).tokens, sched.request(ia2).tokens);
+}
+
+TEST(ServeBatchInvariance, DigitalSchedulerMatchesGenerate) {
+  // On the digital backend the serve path must reproduce plain greedy
+  // generate() exactly — batching may not change any request's output.
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.max_batch = 3;
+  Scheduler sched(model, cfg);
+  std::vector<std::int64_t> ids;
+  for (const Job& j : kJobs) {
+    RequestParams p;
+    p.prompt = j.prompt;
+    p.max_new_tokens = j.max_new;
+    ids.push_back(sched.submit(std::move(p)));
+  }
+  sched.run_until_idle();
+  for (std::size_t j = 0; j < kJobs.size(); ++j) {
+    const auto expect = model.generate(kJobs[j].prompt, kJobs[j].max_new);
+    EXPECT_EQ(sched.request(ids[j]).tokens, expect) << "job " << j;
+  }
+}
+
+// --- scheduler state machine -----------------------------------------
+
+TEST(Scheduler, EmptyTickIsIdle) {
+  nn::TransformerLM model(tiny_arch());
+  Scheduler sched(model);
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(sched.in_flight(), 0u);
+  EXPECT_EQ(sched.metrics().steps, 0);
+  EXPECT_EQ(sched.metrics().busy_steps, 0);
+}
+
+TEST(Scheduler, RejectsInvalidRequestsAtSubmit) {
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.kv_budget_tokens = 10;
+  Scheduler sched(model, cfg);
+  const auto empty = sched.submit({});
+  RequestParams zero;
+  zero.prompt = {1, 2};
+  zero.max_new_tokens = 0;
+  const auto none = sched.submit(std::move(zero));
+  RequestParams longp;
+  longp.prompt.assign(32, 1);  // == max_seq: no room for even one token
+  const auto toolong = sched.submit(std::move(longp));
+  RequestParams fat;
+  fat.prompt = {1, 2, 3, 4, 5};
+  fat.max_new_tokens = 20;  // footprint 24 > budget 10
+  const auto toofat = sched.submit(std::move(fat));
+  for (const auto id : {empty, none, toolong, toofat}) {
+    EXPECT_EQ(sched.request(id).state, RequestState::kRejected);
+    EXPECT_FALSE(sched.request(id).reject_reason.empty());
+  }
+  EXPECT_EQ(sched.in_flight(), 0u);
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(sched.metrics().rejected, 4);
+  EXPECT_THROW(sched.request(999), std::out_of_range);
+}
+
+TEST(Scheduler, CancelMidDecodeFreesSlabAndKeepsPartialOutput) {
+  nn::TransformerLM model(tiny_arch());
+  Scheduler sched(model);
+  RequestParams p;
+  p.prompt = {3, 1, 4};
+  p.max_new_tokens = 12;
+  const auto id = sched.submit(std::move(p));
+  sched.step();
+  sched.step();
+  sched.step();
+  EXPECT_EQ(sched.pool().live(), 1u);
+  EXPECT_TRUE(sched.cancel(id));
+  sched.step();  // cancellation lands at the step boundary
+  const auto rec = sched.request(id);
+  EXPECT_EQ(rec.state, RequestState::kCancelled);
+  EXPECT_EQ(rec.tokens.size(), 3u);  // one token per completed step
+  EXPECT_EQ(sched.pool().live(), 0u);
+  EXPECT_EQ(sched.pool().used_tokens(), 0);
+  EXPECT_EQ(sched.in_flight(), 0u);
+  EXPECT_FALSE(sched.cancel(id));  // already terminal
+  EXPECT_FALSE(sched.cancel(12345));
+}
+
+TEST(Scheduler, PoolExhaustionQueuesUntilRetirementFreesSlabs) {
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.kv_budget_tokens = 8;  // exactly one {prompt 4, max_new 5} request
+  Scheduler sched(model, cfg);
+  RequestParams p;
+  p.prompt = {1, 2, 3, 4};
+  p.max_new_tokens = 5;  // footprint 8
+  const auto a = sched.submit(RequestParams(p));
+  const auto b = sched.submit(RequestParams(p));
+  sched.step();
+  EXPECT_EQ(sched.request(a).state, RequestState::kRunning);
+  EXPECT_EQ(sched.request(b).state, RequestState::kQueued);
+  EXPECT_EQ(sched.pool().used_tokens(), 8);
+  while (sched.step()) {
+    EXPECT_LE(sched.pool().used_tokens(), sched.pool().budget_tokens());
+  }
+  EXPECT_EQ(sched.request(a).state, RequestState::kFinished);
+  EXPECT_EQ(sched.request(b).state, RequestState::kFinished);
+  // b could only start after a retired and returned its slab.
+  EXPECT_GE(sched.request(b).start_step, sched.request(a).finish_step);
+  EXPECT_EQ(sched.request(b).tokens, sched.request(a).tokens);  // digital
+  EXPECT_EQ(sched.pool().high_water_tokens(), 8);
+  EXPECT_EQ(sched.pool().used_tokens(), 0);
+}
+
+TEST(Scheduler, PoolExhaustionRejectsWhenConfigured) {
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.kv_budget_tokens = 8;
+  cfg.reject_on_pool_full = true;
+  Scheduler sched(model, cfg);
+  RequestParams p;
+  p.prompt = {1, 2, 3, 4};
+  p.max_new_tokens = 5;
+  const auto a = sched.submit(RequestParams(p));
+  const auto b = sched.submit(RequestParams(p));
+  sched.step();
+  EXPECT_EQ(sched.request(a).state, RequestState::kRunning);
+  EXPECT_EQ(sched.request(b).state, RequestState::kRejected);
+  EXPECT_EQ(sched.request(b).reject_reason, "KV pool full");
+  sched.run_until_idle();
+  EXPECT_EQ(sched.request(a).state, RequestState::kFinished);
+}
+
+TEST(Scheduler, QueueCapacityRejectsOverflow) {
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 2;
+  Scheduler sched(model, cfg);
+  RequestParams p;
+  p.prompt = {1, 2};
+  p.max_new_tokens = 2;
+  sched.submit(RequestParams(p));
+  sched.submit(RequestParams(p));
+  const auto c = sched.submit(RequestParams(p));
+  EXPECT_EQ(sched.request(c).state, RequestState::kRejected);
+  EXPECT_EQ(sched.request(c).reject_reason, "queue full");
+}
+
+TEST(Scheduler, DeadlineExpiryWhileQueuedAndWhileRunning) {
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.kv_budget_tokens = 8;  // one slab: the second request starves
+  Scheduler sched(model, cfg);
+  RequestParams hog;
+  hog.prompt = {1, 2, 3, 4};
+  hog.max_new_tokens = 5;
+  hog.deadline_steps = 3;  // expires mid-decode
+  const auto a = sched.submit(std::move(hog));
+  RequestParams starved;
+  starved.prompt = {5, 6, 7, 8};
+  starved.max_new_tokens = 5;
+  starved.deadline_steps = 2;  // expires while pool-blocked in the queue
+  const auto b = sched.submit(std::move(starved));
+  sched.run_until_idle();
+  const auto ra = sched.request(a);
+  EXPECT_EQ(ra.state, RequestState::kExpired);
+  EXPECT_FALSE(ra.tokens.empty());              // partial output kept
+  EXPECT_LT(static_cast<int>(ra.tokens.size()), 5);
+  const auto rb = sched.request(b);
+  EXPECT_EQ(rb.state, RequestState::kExpired);
+  EXPECT_TRUE(rb.tokens.empty());
+  EXPECT_EQ(sched.pool().used_tokens(), 0);
+  EXPECT_EQ(sched.metrics().expired, 2);
+}
+
+TEST(Scheduler, BudgetNeverExceededUnderLoad) {
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.max_batch = 3;
+  cfg.kv_budget_tokens = 20;
+  Scheduler sched(model, cfg);
+  for (int i = 0; i < 7; ++i) {
+    RequestParams p;
+    p.prompt.assign(static_cast<std::size_t>(2 + i % 4), 1 + i);
+    p.max_new_tokens = 3 + i % 5;
+    sched.submit(std::move(p));
+  }
+  while (sched.step()) {
+    ASSERT_LE(sched.pool().used_tokens(), 20);
+    ASSERT_LE(static_cast<std::int64_t>(sched.pool().live()), 3);
+  }
+  const Metrics m = sched.metrics();
+  EXPECT_EQ(m.finished, 7);
+  EXPECT_LE(m.kv_high_water_tokens, 20);
+  EXPECT_EQ(m.kv_used_tokens, 0);
+  EXPECT_LE(m.max_occupancy, 3);
+  EXPECT_GT(m.mean_occupancy(), 1.0);  // batching actually happened
+  EXPECT_GT(m.generated_tokens, 0);
+  // Every record is terminal and consistent.
+  EXPECT_EQ(sched.completed().size(), 7u);
+}
+
+// --- integrity-monitor interaction -----------------------------------
+
+TEST(ServeIntegrity, MidServeAbftActionsDoNotCorruptInFlightOutputs) {
+  // Ideal (noise-free) tiles with ABFT checksum columns: re-reads and
+  // refreshes are output-identity, so a serving run under an
+  // aggressively-triggering watchdog must produce bit-identical tokens
+  // to an unmonitored run — the actions may not disturb in-flight
+  // requests.
+  util::ThreadPool::global().resize(1);
+  cim::TileConfig tile = cim::TileConfig::ideal();
+  tile.abft_checksum = true;
+  auto run = [&](bool monitored, std::int64_t* actions_out) {
+    nn::TransformerLM model = make_analog_model(tile);
+    runtime::MonitorConfig mcfg;
+    mcfg.policy = runtime::RefreshPolicy::kWatchdog;
+    mcfg.flag_rate_budget = -1.0;  // every window is "over budget"
+    mcfg.fallback_after_refreshes = 1000;  // never reach the digital rung
+    runtime::IntegrityMonitor monitor(model, /*deploy_seed=*/4040, mcfg);
+    SchedulerConfig cfg;
+    cfg.max_batch = 3;
+    cfg.record_logits = true;
+    if (monitored) {
+      cfg.monitor = &monitor;
+      cfg.inspect_every = 1;
+    }
+    Scheduler sched(model, cfg);
+    std::vector<std::int64_t> ids;
+    for (const Job& j : kJobs) {
+      RequestParams p;
+      p.prompt = j.prompt;
+      p.max_new_tokens = j.max_new;
+      p.stream_seed = j.stream;
+      ids.push_back(sched.submit(std::move(p)));
+    }
+    sched.run_until_idle();
+    if (monitored) {
+      EXPECT_GT(sched.metrics().monitor_inspections, 0);
+      EXPECT_GT(sched.metrics().monitor_actions, 0);
+      EXPECT_GT(monitor.total_rereads(), 0);
+      EXPECT_GT(monitor.total_refreshes(), 0);
+      EXPECT_EQ(monitor.total_fallbacks(), 0);
+      EXPECT_TRUE(model.is_analog());
+      if (actions_out != nullptr) {
+        *actions_out = sched.metrics().monitor_actions;
+      }
+    }
+    std::vector<RequestRecord> out;
+    for (const auto id : ids) out.push_back(sched.request(id));
+    return out;
+  };
+  const auto plain = run(false, nullptr);
+  std::int64_t actions = 0;
+  const auto healed = run(true, &actions);
+  ASSERT_GT(actions, 0);
+  for (std::size_t j = 0; j < kJobs.size(); ++j) {
+    EXPECT_EQ(healed[j].state, RequestState::kFinished);
+    EXPECT_EQ(healed[j].tokens, plain[j].tokens) << "job " << j;
+    EXPECT_TRUE(logits_bitwise_equal(healed[j], plain[j])) << "job " << j;
+  }
+}
+
+TEST(ServeMetrics, PercentileAndDumpsAreWellFormed) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 0.95), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 1.0), 4.0);
+  nn::TransformerLM model(tiny_arch());
+  Scheduler sched(model);
+  RequestParams p;
+  p.prompt = {1, 2, 3};
+  p.max_new_tokens = 4;
+  sched.submit(std::move(p));
+  sched.run_until_idle();
+  const Metrics m = sched.metrics();
+  EXPECT_EQ(m.finished, 1);
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("serving metrics"), std::string::npos);
+  const std::string json = m.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"finished\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kv_budget_tokens\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nora::serve
