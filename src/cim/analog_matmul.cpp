@@ -75,9 +75,23 @@ void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
                                  BlockWork& work) const {
   const RowBlock& block = blocks_[b];
   const std::int64_t nk = block.k1 - block.k0;
-  std::vector<float> xs(static_cast<std::size_t>(nk));
-  std::vector<float> xhat(static_cast<std::size_t>(nk));
-  std::vector<float> contrib;  // IR-drop scratch, reused across tiles
+  // Per-thread workspace: pool workers (and the calling thread) are
+  // long-lived, so these buffers hit their high-water size once and then
+  // serve every subsequent work item — any layer, any step —
+  // allocation-free. Indexing below is bounded by nk explicitly, so a
+  // buffer left larger by a wider layer is harmless.
+  struct Workspace {
+    std::vector<float> xs, xhat;
+    std::vector<double> in_noise;
+    TileMvmScratch tile;
+  };
+  thread_local Workspace ws;
+  if (ws.xs.size() < static_cast<std::size_t>(nk)) {
+    ws.xs.resize(static_cast<std::size_t>(nk));
+    ws.xhat.resize(static_cast<std::size_t>(nk));
+  }
+  std::vector<float>& xs = ws.xs;
+  std::vector<float>& xhat = ws.xhat;
   float abs_max = 0.0f;
   for (std::int64_t k = 0; k < nk; ++k) {
     const float v =
@@ -102,12 +116,27 @@ void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
   // ADC saturates (weaker signal, but no output clipping). Each attempt
   // keys its own noise streams on (epoch, token, block, attempt), so a
   // retry re-samples fresh hardware noise exactly like a physical rerun.
+  const bool use_in_noise = cfg_.in_noise > 0.0f;
+  const double in_stddev = cfg_.in_noise;
   int iter = 0;
   for (;;) {
     const std::uint64_t work_key = util::derive_stream(
         stream_base_, epoch, t,
         (static_cast<std::uint64_t>(b) << 8) | static_cast<std::uint64_t>(iter));
-    util::Rng in_rng(util::derive_stream(work_key, 0));
+    // The input-noise stream draws exactly one standard normal per
+    // element, unconditionally, so the whole attempt's draws batch into
+    // one gaussian_fill from the identical derived stream — same seed,
+    // same draw order, same bits as the former per-element calls. The
+    // stream (and its derivation) is skipped entirely when input noise
+    // is off: nothing else ever reads it, so the skip is unobservable.
+    if (use_in_noise) {
+      if (ws.in_noise.size() < static_cast<std::size_t>(nk)) {
+        ws.in_noise.resize(static_cast<std::size_t>(nk));
+      }
+      util::Rng in_rng(util::derive_stream(work_key, 0));
+      in_rng.gaussian_fill(
+          std::span<double>(ws.in_noise.data(), static_cast<std::size_t>(nk)));
+    }
     // Input path: rescale by alpha, DAC-quantize (clipping at full
     // scale), S-shape nonlinearity, additive input noise. DAC counters
     // stay attempt-local and only the accepted pass commits them: a
@@ -127,8 +156,9 @@ void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
       }
       v = dac_.quantize(v);
       v = sshape_.apply(v);
-      if (cfg_.in_noise > 0.0f) {
-        v += static_cast<float>(in_rng.gaussian(0.0, cfg_.in_noise));
+      if (use_in_noise) {
+        v += static_cast<float>(0.0 +
+                                in_stddev * ws.in_noise[static_cast<std::size_t>(k)]);
       }
       xhat[static_cast<std::size_t>(k)] = v;
       l2 += double(v) * v;
@@ -149,7 +179,7 @@ void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
                    y.subspan(static_cast<std::size_t>(block.col0[ti]),
                              static_cast<std::size_t>(tile.cols())),
                    tile_rng, abft ? &abft_rng : nullptr, work.tiles[ti],
-                   contrib);
+                   ws.tile);
     }
     if (!saturated || !cfg_.bound_management || iter >= cfg_.bm_max_iters) {
       work.stats.dac_samples += dac_samples;
@@ -184,7 +214,7 @@ Matrix AnalogMatmul::forward_impl(const Matrix& x,
   // group: the whole call in the legacy path, each contiguous run of
   // rows with equal StreamKey::stream in the keyed path (so a request's
   // alpha never depends on its batch neighbours).
-  std::vector<std::int64_t> group_of;  // row -> alpha-group index
+  std::vector<std::int64_t>& group_of = group_of_;  // row -> alpha-group index
   std::int64_t n_groups = t_count > 0 ? 1 : 0;
   if (t_count > 0) {
     group_of.assign(static_cast<std::size_t>(t_count), 0);
@@ -198,9 +228,8 @@ Matrix AnalogMatmul::forward_impl(const Matrix& x,
       }
     }
   }
-  std::vector<float> avg_alpha(blocks_.size() *
-                                   static_cast<std::size_t>(n_groups),
-                               0.0f);
+  std::vector<float>& avg_alpha = avg_alpha_;
+  avg_alpha.assign(blocks_.size() * static_cast<std::size_t>(n_groups), 0.0f);
   if (cfg_.scaling == InputScaling::kAvgAbsMax && t_count > 0) {
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
       double sum = 0.0;
@@ -245,8 +274,12 @@ Matrix AnalogMatmul::forward_impl(const Matrix& x,
   const std::int64_t chunk = std::clamp<std::int64_t>(
       budget / std::max<std::int64_t>(1, n_blocks * n_), 1,
       std::max<std::int64_t>(1, t_count));
-  std::vector<float> partial;
-  std::vector<BlockWork> works;
+  // Member scratch: assign() resets contents but retains capacity (and,
+  // for works_, each BlockWork's inner counter capacity), so repeated
+  // forwards of the same shape — every decode step — reuse the same
+  // storage with no allocation.
+  std::vector<float>& partial = partial_;
+  std::vector<BlockWork>& works = works_;
   for (std::int64_t tc0 = 0; tc0 < t_count; tc0 += chunk) {
     const std::int64_t tc1 = std::min(t_count, tc0 + chunk);
     const std::int64_t items = (tc1 - tc0) * n_blocks;

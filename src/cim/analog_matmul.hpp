@@ -201,6 +201,14 @@ class AnalogMatmul {
   std::uint64_t fwd_epoch_ = 0;
   ArrayStats stats_;
   std::vector<WearRecord> wear_;  // permanent post-deployment faults
+  // forward_impl scratch, reused across calls (assign() keeps capacity)
+  // so steady-state decode steps allocate nothing here. forward() was
+  // never safe to call concurrently on one AnalogMatmul (fwd_epoch_,
+  // stats_); these add no new restriction.
+  std::vector<std::int64_t> group_of_;
+  std::vector<float> avg_alpha_;
+  std::vector<float> partial_;
+  std::vector<BlockWork> works_;
 };
 
 }  // namespace nora::cim

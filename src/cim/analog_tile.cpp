@@ -250,8 +250,7 @@ float AnalogTile::read_sigma() const {
 
 bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
                      std::span<float> y, util::Rng& rng, util::Rng* abft_rng,
-                     TileRunCounters& counters,
-                     std::vector<float>& contrib) const {
+                     TileRunCounters& counters, TileMvmScratch& scratch) const {
   if (static_cast<std::int64_t>(x_hat.size()) != rows_ ||
       static_cast<std::int64_t>(y.size()) != cols_) {
     throw std::invalid_argument("AnalogTile::mvm: size mismatch");
@@ -260,30 +259,39 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
     throw std::invalid_argument("AnalogTile::mvm: ABFT needs a checksum stream");
   }
   const bool use_ir = ir_drop_.enabled();
-  if (use_ir && contrib.size() != x_hat.size()) {
-    contrib.resize(x_hat.size());
-  }
   const float sigma_r = read_sigma();
+  // Batch the per-column noise draws: the per-column pattern (read noise
+  // then output noise, each gated by its config flag) is data-independent,
+  // so one gaussian_fill produces exactly the draw sequence the former
+  // per-column rng.gaussian calls consumed, in the same order. Scaling a
+  // standard normal g as `0.0 + stddev * g` below is the literal
+  // expression gaussian(0.0, stddev) evaluates, so every output bit is
+  // unchanged. stddev_r keeps the original single-precision
+  // sigma_r * x_hat_l2 product before widening, matching the old
+  // call-site argument exactly.
+  const int draws_per_col =
+      (sigma_r > 0.0f ? 1 : 0) + (cfg_.out_noise > 0.0f ? 1 : 0);
+  const double* g = nullptr;
+  if (draws_per_col > 0) {
+    const std::size_t need =
+        static_cast<std::size_t>(draws_per_col) * static_cast<std::size_t>(cols_);
+    if (scratch.noise.size() < need) scratch.noise.resize(need);
+    rng.gaussian_fill(std::span<double>(scratch.noise.data(), need));
+    g = scratch.noise.data();
+  }
+  const double stddev_r = sigma_r * x_hat_l2;
+  const double stddev_o = cfg_.out_noise;
   bool any_saturated = false;
-  for (std::int64_t j = 0; j < cols_; ++j) {
-    const float* wcol = w_hat_t_effective_.data() + j * rows_;
-    float acc;
-    if (use_ir) {
-      for (std::int64_t k = 0; k < rows_; ++k) contrib[k] = wcol[k] * x_hat[k];
-      acc = ir_drop_.accumulate_column(
-          std::span<const float>(contrib.data(), contrib.size()));
-    } else {
-      double s = 0.0;
-      for (std::int64_t k = 0; k < rows_; ++k) s += double(wcol[k]) * x_hat[k];
-      acc = static_cast<float>(s);
-    }
-    // Short-term read noise (aggregated, statistically exact) and the
-    // system additive output noise, both before the ADC.
+  // Per-column epilogue: short-term read noise (aggregated, statistically
+  // exact) and the system additive output noise, both before the ADC,
+  // then quantize and scale into y. The draws were prefilled in column
+  // order, so grouping columns below does not reorder them.
+  const auto finish_col = [&](std::int64_t j, float acc) {
     if (sigma_r > 0.0f) {
-      acc += static_cast<float>(rng.gaussian(0.0, sigma_r * x_hat_l2));
+      acc += static_cast<float>(0.0 + stddev_r * (*g++));
     }
     if (cfg_.out_noise > 0.0f) {
-      acc += static_cast<float>(rng.gaussian(0.0, cfg_.out_noise));
+      acc += static_cast<float>(0.0 + stddev_o * (*g++));
     }
     ++counters.adc_reads;
     if (adc_.saturates(acc)) {
@@ -292,6 +300,58 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
     }
     acc = adc_.quantize(acc);
     y[j] += alpha * gamma_[static_cast<std::size_t>(j)] * acc;
+  };
+  // Columns are mutually independent, and one column's accumulation is a
+  // serial double-add chain; running four side by side pipelines the
+  // chains through the FP units without changing any column's operation
+  // sequence — every output bit matches the one-column-at-a-time loop.
+  const float* wbase = w_hat_t_effective_.data();
+  const std::size_t n = static_cast<std::size_t>(rows_);
+  std::int64_t j = 0;
+  if (use_ir) {
+    for (; j + 4 <= cols_; j += 4) {
+      float acc4[4];
+      ir_drop_.accumulate_columns_fused4(wbase + j * rows_,
+                                         wbase + (j + 1) * rows_,
+                                         wbase + (j + 2) * rows_,
+                                         wbase + (j + 3) * rows_,
+                                         x_hat.data(), n, acc4);
+      finish_col(j, acc4[0]);
+      finish_col(j + 1, acc4[1]);
+      finish_col(j + 2, acc4[2]);
+      finish_col(j + 3, acc4[3]);
+    }
+  } else {
+    for (; j + 4 <= cols_; j += 4) {
+      const float* w0 = wbase + j * rows_;
+      const float* w1 = wbase + (j + 1) * rows_;
+      const float* w2 = wbase + (j + 2) * rows_;
+      const float* w3 = wbase + (j + 3) * rows_;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double xk = x_hat[k];
+        s0 += double(w0[k]) * xk;
+        s1 += double(w1[k]) * xk;
+        s2 += double(w2[k]) * xk;
+        s3 += double(w3[k]) * xk;
+      }
+      finish_col(j, static_cast<float>(s0));
+      finish_col(j + 1, static_cast<float>(s1));
+      finish_col(j + 2, static_cast<float>(s2));
+      finish_col(j + 3, static_cast<float>(s3));
+    }
+  }
+  for (; j < cols_; ++j) {
+    const float* wcol = wbase + j * rows_;
+    float acc;
+    if (use_ir) {
+      acc = ir_drop_.accumulate_column_fused(wcol, x_hat.data(), n);
+    } else {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += double(wcol[k]) * x_hat[k];
+      acc = static_cast<float>(s);
+    }
+    finish_col(j, acc);
   }
   if (cfg_.abft_checksum) {
     abft_check(x_hat, x_hat_l2, alpha, *abft_rng, counters.abft);
@@ -304,7 +364,7 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
   TileRunCounters counters;
   const bool saturated =
       mvm(x_hat, x_hat_l2, alpha, y, rng,
-          cfg_.abft_checksum ? &abft_rng_ : nullptr, counters, contrib_buf_);
+          cfg_.abft_checksum ? &abft_rng_ : nullptr, counters, scratch_buf_);
   add_run_counters(counters);
   return saturated;
 }

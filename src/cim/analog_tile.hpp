@@ -69,6 +69,16 @@ struct TileRunCounters {
   AbftStats abft;
 };
 
+/// Caller-owned scratch for the thread-safe mvm form. One MVM drains up
+/// to two Gaussian draws per column (read noise + output noise); the
+/// tile prefills them into `noise` with a single batched
+/// Rng::gaussian_fill instead of 2*cols individual calls. The buffer
+/// grows to the high-water mark on first use and is reused verbatim
+/// afterwards, so a warmed-up scratch performs zero allocations per MVM.
+struct TileMvmScratch {
+  std::vector<double> noise;  // prefilled standard normals, drained per column
+};
+
 class AnalogTile {
  public:
   /// w_slice: logical weights [rows x cols] (any NORA rescale already
@@ -90,11 +100,12 @@ class AnalogTile {
   /// Thread-safe form: all mutable state is caller-owned — noise draws
   /// come from `rng` (and `abft_rng` for the checksum read; required
   /// when ABFT is enabled), counters accumulate into `counters`, and
-  /// `contrib` provides the IR-drop scratch buffer. Concurrent calls on
-  /// the same tile are safe as long as each supplies its own arguments.
+  /// `scratch` provides the reusable noise-prefill buffer. Concurrent
+  /// calls on the same tile are safe as long as each supplies its own
+  /// arguments.
   bool mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
            std::span<float> y, util::Rng& rng, util::Rng* abft_rng,
-           TileRunCounters& counters, std::vector<float>& contrib) const;
+           TileRunCounters& counters, TileMvmScratch& scratch) const;
 
   /// Sequential convenience form: draws the checksum read from the
   /// tile's own dedicated stream and updates the member counters
@@ -168,7 +179,7 @@ class AnalogTile {
   noise::ShortTermReadNoise read_noise_;
   noise::IrDropModel ir_drop_;
   noise::PcmDriftModel drift_;
-  std::vector<float> contrib_buf_;  // per-row contributions (IR-drop path)
+  TileMvmScratch scratch_buf_;  // scratch for the sequential mvm form
   faults::FaultMap fault_map_;            // physical [cols + spares] x rows
   std::vector<std::int64_t> phys_col_;    // logical column -> physical column
   faults::TileRepairStats fault_stats_;

@@ -96,13 +96,18 @@ Matrix CausalSelfAttention::forward_cached(const Matrix& x,
   if (cache.k.rows() != pos0 || (pos0 > 0 && cache.k.cols() != d_model_)) {
     throw std::invalid_argument("attention forward_cached: cache out of sync");
   }
-  // Append the new keys/values.
-  Matrix k_all(pos0 + t_new, d_model_);
-  Matrix v_all(pos0 + t_new, d_model_);
-  if (pos0 > 0) {
-    std::copy(cache.k.data(), cache.k.data() + cache.k.size(), k_all.data());
-    std::copy(cache.v.data(), cache.v.data() + cache.v.size(), v_all.data());
+  // Append the new keys/values in place: rows [0, pos0) already ARE the
+  // cache, so the former copy-into-fresh-matrix round trip (one
+  // allocation plus an O(pos0) copy per layer per decode step) is gone.
+  // A cache pre-sized to its capacity (serve slabs) never reallocates.
+  if (cache.k.cols() != d_model_) {
+    cache.k = Matrix(0, d_model_);
+    cache.v = Matrix(0, d_model_);
   }
+  cache.k.resize_rows(pos0 + t_new);
+  cache.v.resize_rows(pos0 + t_new);
+  Matrix& k_all = cache.k;
+  Matrix& v_all = cache.v;
   for (std::int64_t t = 0; t < t_new; ++t) {
     const auto row = qkv.row(t);
     auto kr = k_all.row(pos0 + t);
@@ -115,10 +120,11 @@ Matrix CausalSelfAttention::forward_cached(const Matrix& x,
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
   Matrix concat(t_new, d_model_);
   // Same disjoint-slice head fan-out as forward(); the probs scratch is
-  // head-local so concurrent heads never share mutable state.
+  // thread-local so concurrent heads never share mutable state and
+  // long-lived pool workers reuse it allocation-free across steps.
   util::ThreadPool::global().parallel_for(n_heads_, [&](std::int64_t h) {
     const std::int64_t off = h * d_head_;
-    std::vector<float> probs;
+    thread_local std::vector<float> probs;
     const auto bias = rel_bias_.value.row(h);
     for (std::int64_t i = 0; i < t_new; ++i) {
       const std::int64_t gi = pos0 + i;  // global position
@@ -147,8 +153,6 @@ Matrix CausalSelfAttention::forward_cached(const Matrix& x,
       }
     }
   });
-  cache.k = std::move(k_all);
-  cache.v = std::move(v_all);
   return out_proj_.forward(concat, /*training=*/false);
 }
 
@@ -156,7 +160,11 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
                                           std::span<const AttnServeSeq> seqs,
                                           std::span<const cim::StreamKey> keys) {
   const std::int64_t n_seqs = static_cast<std::int64_t>(seqs.size());
-  std::vector<std::int64_t> r0(static_cast<std::size_t>(n_seqs), 0);
+  // Step scratch, shared by the worker lambdas below — a member (not
+  // thread_local) because pool workers must see the main thread's fill.
+  // assign() keeps capacity, so steady-state steps don't allocate.
+  std::vector<std::int64_t>& r0 = serve_r0_;
+  r0.assign(static_cast<std::size_t>(n_seqs), 0);
   std::int64_t total = 0;
   for (std::int64_t s = 0; s < n_seqs; ++s) {
     const AttnServeSeq& seq = seqs[static_cast<std::size_t>(s)];
@@ -181,31 +189,28 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
         "attention forward_serve: segment rows do not cover the batch");
   }
   const Matrix qkv = qkv_.forward_keyed(x, keys);  // [T x 3d], one tile pass
-  // Per-sequence extended K/V (cache + this step's new rows). Sequences
-  // are independent work items with disjoint state.
-  std::vector<Matrix> k_all(static_cast<std::size_t>(n_seqs));
-  std::vector<Matrix> v_all(static_cast<std::size_t>(n_seqs));
+  // Append this step's K/V rows directly into each sequence's cache:
+  // sequences are independent work items with disjoint state, and the
+  // in-place append removes the former per-sequence allocate + O(pos0)
+  // copy (a pool-pre-sized slab never reallocates here).
   util::ThreadPool::global().parallel_for(n_seqs, [&](std::int64_t s) {
     const AttnServeSeq& seq = seqs[static_cast<std::size_t>(s)];
-    Matrix k(seq.pos0 + seq.rows, d_model_);
-    Matrix v(seq.pos0 + seq.rows, d_model_);
-    if (seq.pos0 > 0) {
-      const Matrix& ck = seq.cache->k;
-      const Matrix& cv = seq.cache->v;
-      std::copy(ck.data(), ck.data() + ck.size(), k.data());
-      std::copy(cv.data(), cv.data() + cv.size(), v.data());
+    KvCache::BlockCache& c = *seq.cache;
+    if (c.k.cols() != d_model_) {
+      c.k = Matrix(0, d_model_);
+      c.v = Matrix(0, d_model_);
     }
+    c.k.resize_rows(seq.pos0 + seq.rows);
+    c.v.resize_rows(seq.pos0 + seq.rows);
     for (std::int64_t t = 0; t < seq.rows; ++t) {
       const auto row = qkv.row(r0[static_cast<std::size_t>(s)] + t);
-      auto kr = k.row(seq.pos0 + t);
-      auto vr = v.row(seq.pos0 + t);
-      for (std::int64_t c = 0; c < d_model_; ++c) {
-        kr[c] = row[d_model_ + c];
-        vr[c] = row[2 * d_model_ + c];
+      auto kr = c.k.row(seq.pos0 + t);
+      auto vr = c.v.row(seq.pos0 + t);
+      for (std::int64_t cc = 0; cc < d_model_; ++cc) {
+        kr[cc] = row[d_model_ + cc];
+        vr[cc] = row[2 * d_model_ + cc];
       }
     }
-    k_all[static_cast<std::size_t>(s)] = std::move(k);
-    v_all[static_cast<std::size_t>(s)] = std::move(v);
   });
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
   Matrix concat(total, d_model_);
@@ -218,10 +223,10 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
         const std::int64_t s = item / n_heads_;
         const std::int64_t h = item % n_heads_;
         const AttnServeSeq& seq = seqs[static_cast<std::size_t>(s)];
-        const Matrix& ks = k_all[static_cast<std::size_t>(s)];
-        const Matrix& vs = v_all[static_cast<std::size_t>(s)];
+        const Matrix& ks = seq.cache->k;
+        const Matrix& vs = seq.cache->v;
         const std::int64_t off = h * d_head_;
-        std::vector<float> probs;
+        thread_local std::vector<float> probs;
         const auto bias = rel_bias_.value.row(h);
         for (std::int64_t i = 0; i < seq.rows; ++i) {
           const std::int64_t gi = seq.pos0 + i;  // global position
@@ -254,12 +259,6 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
           }
         }
       });
-  for (std::int64_t s = 0; s < n_seqs; ++s) {
-    seqs[static_cast<std::size_t>(s)].cache->k =
-        std::move(k_all[static_cast<std::size_t>(s)]);
-    seqs[static_cast<std::size_t>(s)].cache->v =
-        std::move(v_all[static_cast<std::size_t>(s)]);
-  }
   return out_proj_.forward_keyed(concat, keys);
 }
 

@@ -81,6 +81,10 @@ class CausalSelfAttention {
   // Backward caches (one sequence at a time).
   Matrix qkv_cache_;                 // [T x 3d]
   std::vector<Matrix> probs_cache_;  // per head: [T x T] softmax rows
+  // forward_serve step scratch (segment row offsets), reused across
+  // steps; read by pool workers, so it lives here rather than
+  // thread-local storage.
+  std::vector<std::int64_t> serve_r0_;
 };
 
 }  // namespace nora::nn

@@ -59,9 +59,12 @@ struct KvCache {
       throw std::invalid_argument("KvCache::trim: negative length");
     }
     if (new_length >= length) return;
+    // In place: the dropped rows' storage stays with the matrices, so a
+    // recycled slab refills its previous high-water footprint without
+    // allocating.
     for (BlockCache& b : blocks) {
-      b.k = b.k.slice_rows(0, new_length);
-      b.v = b.v.slice_rows(0, new_length);
+      b.k.resize_rows(new_length);
+      b.v.resize_rows(new_length);
     }
     length = new_length;
   }

@@ -23,6 +23,21 @@ util::Rng make_init_rng(const TransformerConfig& cfg) {
 }
 }  // namespace
 
+void TransformerLM::init_cache_blocks(KvCache& cache) const {
+  cache.blocks.resize(blocks_.size());
+  // Reserve each layer's K/V at the slab capacity (serve) or the model
+  // horizon, so the per-step in-place appends never touch the allocator.
+  const std::int64_t horizon =
+      cache.capacity > 0 ? std::min(cache.capacity, cfg_.max_seq)
+                         : cfg_.max_seq;
+  for (KvCache::BlockCache& b : cache.blocks) {
+    b.k = Matrix(0, cfg_.d_model);
+    b.v = Matrix(0, cfg_.d_model);
+    b.k.reserve_rows(horizon);
+    b.v.reserve_rows(horizon);
+  }
+}
+
 TransformerLM::TransformerLM(TransformerConfig cfg)
     : cfg_(std::move(cfg)),
       final_norm_("final_norm", cfg_.norm_kind, cfg_.d_model),
@@ -114,7 +129,7 @@ Matrix TransformerLM::forward_cached(std::span<const int> tokens,
     throw KvCacheOverflow(pos0, t_new, cache.capacity, "cache capacity");
   }
   if (cache.blocks.empty()) {
-    cache.blocks.resize(blocks_.size());
+    init_cache_blocks(cache);
   } else if (cache.blocks.size() != blocks_.size()) {
     throw std::invalid_argument("forward_cached: cache from another model");
   }
@@ -155,7 +170,7 @@ Matrix TransformerLM::forward_serve(std::span<const ServeSegment> segments) {
                             "cache capacity");
     }
     if (seg.cache->blocks.empty()) {
-      seg.cache->blocks.resize(blocks_.size());
+      init_cache_blocks(*seg.cache);
     } else if (seg.cache->blocks.size() != blocks_.size()) {
       throw std::invalid_argument("forward_serve: cache from another model");
     }
@@ -173,8 +188,10 @@ Matrix TransformerLM::forward_serve(std::span<const ServeSegment> segments) {
   // position): the keys make every analog tile pass independent of the
   // batch composition.
   Matrix x(total, cfg_.d_model);
-  std::vector<cim::StreamKey> keys(static_cast<std::size_t>(total));
-  std::vector<AttnServeSeq> seqs(segments.size());
+  std::vector<cim::StreamKey>& keys = serve_keys_;
+  keys.assign(static_cast<std::size_t>(total), cim::StreamKey{});
+  std::vector<AttnServeSeq>& seqs = serve_seqs_;
+  seqs.assign(segments.size(), AttnServeSeq{});
   std::int64_t r = 0;
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const ServeSegment& seg = segments[s];

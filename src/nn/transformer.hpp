@@ -110,6 +110,15 @@ class TransformerLM {
   Norm final_norm_;
   Linear lm_head_;  // [d x V]
   std::vector<int> tokens_cache_;
+
+  /// Pre-size a fresh cache's per-layer K/V matrices to its slab
+  /// capacity so every later in-place append stays allocation-free.
+  void init_cache_blocks(KvCache& cache) const;
+
+  // forward_serve step scratch, reused across decode steps (assign
+  // keeps capacity).
+  std::vector<cim::StreamKey> serve_keys_;
+  std::vector<AttnServeSeq> serve_seqs_;
 };
 
 }  // namespace nora::nn

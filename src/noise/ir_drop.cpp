@@ -1,6 +1,5 @@
 #include "noise/ir_drop.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 namespace nora::noise {
@@ -9,22 +8,6 @@ IrDropModel::IrDropModel(float scale, int n_rows) : scale_(scale), n_rows_(n_row
   if (scale < 0.0f) throw std::invalid_argument("IrDropModel: scale must be >= 0");
   if (n_rows <= 0) throw std::invalid_argument("IrDropModel: n_rows must be > 0");
   kappa_ = kBaseDrop * scale_ * static_cast<float>(n_rows_) / 512.0f;
-}
-
-float IrDropModel::accumulate_column(std::span<const float> contributions) const {
-  if (!enabled()) {
-    double acc = 0.0;
-    for (float c : contributions) acc += c;
-    return static_cast<float>(acc);
-  }
-  const double inv_n = 1.0 / static_cast<double>(contributions.size());
-  double cum_abs = 0.0;
-  double acc = 0.0;
-  for (float c : contributions) {
-    cum_abs += std::fabs(c);
-    acc += static_cast<double>(c) * (1.0 - kappa_ * cum_abs * inv_n);
-  }
-  return static_cast<float>(acc);
 }
 
 }  // namespace nora::noise

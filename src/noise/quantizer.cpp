@@ -1,7 +1,5 @@
 #include "noise/quantizer.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace nora::noise {
@@ -15,28 +13,6 @@ UniformQuantizer::UniformQuantizer(float steps, float bound)
   if (steps > 0.0f && bound <= 0.0f) {
     throw std::invalid_argument("UniformQuantizer: bound must be positive");
   }
-}
-
-float UniformQuantizer::quantize(float x) const {
-  if (!enabled()) return x;
-  const float half = steps_ / 2.0f;
-  // Mid-tread uniform quantizer with saturation: levels are k * step,
-  // k in [-steps/2, steps/2 - 1] — exactly `steps` codes, two's-
-  // complement style, with zero always representable. Clamping at +half
-  // would admit steps+1 codes, one more than the converter's bit width
-  // can encode.
-  float q = std::round(x / bound_ * half);
-  q = std::clamp(q, -half, half - 1.0f);
-  return q * bound_ / half;
-}
-
-void UniformQuantizer::apply(std::span<float> xs) const {
-  if (!enabled()) return;
-  for (auto& x : xs) x = quantize(x);
-}
-
-bool UniformQuantizer::saturates(float x) const {
-  return enabled() && std::fabs(x) >= bound_;
 }
 
 }  // namespace nora::noise

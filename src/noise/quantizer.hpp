@@ -5,6 +5,8 @@
 // saturates to the bound (ADC saturation / input clipping in the paper).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 
@@ -30,11 +32,27 @@ class UniformQuantizer {
   float step_size() const { return enabled() ? 2.0f * bound_ / steps_ : 0.0f; }
 
   /// Quantize one value (round-to-nearest level, saturate at +-bound).
-  float quantize(float x) const;
-  void apply(std::span<float> xs) const;
+  /// Inline: called once per ADC read / DAC sample on the analog hot
+  /// path, so an out-of-line call per element is measurable.
+  float quantize(float x) const {
+    if (!enabled()) return x;
+    const float half = steps_ / 2.0f;
+    // Mid-tread uniform quantizer with saturation: levels are k * step,
+    // k in [-steps/2, steps/2 - 1] — exactly `steps` codes, two's-
+    // complement style, with zero always representable. Clamping at +half
+    // would admit steps+1 codes, one more than the converter's bit width
+    // can encode.
+    float q = std::round(x / bound_ * half);
+    q = std::clamp(q, -half, half - 1.0f);
+    return q * bound_ / half;
+  }
+  void apply(std::span<float> xs) const {
+    if (!enabled()) return;
+    for (auto& x : xs) x = quantize(x);
+  }
 
   /// True if |x| saturates the converter.
-  bool saturates(float x) const;
+  bool saturates(float x) const { return enabled() && std::fabs(x) >= bound_; }
 
  private:
   float steps_ = 0.0f;

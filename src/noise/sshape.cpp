@@ -1,6 +1,5 @@
 #include "noise/sshape.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 namespace nora::noise {
@@ -8,16 +7,6 @@ namespace nora::noise {
 SShapeNonlinearity::SShapeNonlinearity(float k) : k_(k) {
   if (k < 0.0f) throw std::invalid_argument("SShapeNonlinearity: k must be >= 0");
   if (enabled()) inv_tanh_k_ = 1.0f / std::tanh(k_);
-}
-
-float SShapeNonlinearity::apply(float x) const {
-  if (!enabled()) return x;
-  return std::tanh(k_ * x) * inv_tanh_k_;
-}
-
-void SShapeNonlinearity::apply(std::span<float> xs) const {
-  if (!enabled()) return;
-  for (auto& x : xs) x = apply(x);
 }
 
 }  // namespace nora::noise

@@ -5,6 +5,7 @@
 // k -> 0 recovers the identity; larger k compresses large inputs.
 #pragma once
 
+#include <cmath>
 #include <span>
 
 namespace nora::noise {
@@ -16,8 +17,16 @@ class SShapeNonlinearity {
   bool enabled() const { return k_ > 0.0f; }
   float k() const { return k_; }
 
-  float apply(float x) const;
-  void apply(std::span<float> xs) const;
+  /// Inline so the (common) disabled case is a branch, not a call, on
+  /// the per-element analog input path.
+  float apply(float x) const {
+    if (!enabled()) return x;
+    return std::tanh(k_ * x) * inv_tanh_k_;
+  }
+  void apply(std::span<float> xs) const {
+    if (!enabled()) return;
+    for (auto& x : xs) x = apply(x);
+  }
 
  private:
   float k_ = 0.0f;

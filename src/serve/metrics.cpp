@@ -1,20 +1,52 @@
 #include "serve/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
 namespace nora::serve {
 
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
+namespace {
+
+std::atomic<std::int64_t> g_sort_count{0};
+
+/// Interpolated quantile over an already-sorted sample vector.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  const double idx = q * static_cast<double>(values.size() - 1);
+  const double idx = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = idx - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::vector<double> sorted_copy(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  g_sort_count.fetch_add(1, std::memory_order_relaxed);
+  return sorted;
+}
+
+}  // namespace
+
+std::int64_t percentile_sort_count() {
+  return g_sort_count.load(std::memory_order_relaxed);
+}
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  return quantile_sorted(sorted_copy(values), q);
+}
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> qs) {
+  if (values.empty()) return std::vector<double>(qs.size(), 0.0);
+  const std::vector<double> sorted = sorted_copy(values);
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_sorted(sorted, q));
+  return out;
 }
 
 namespace {
@@ -43,9 +75,12 @@ std::string Metrics::to_string() const {
        std::to_string(steps) + " steps, mean occupancy " +
        fmt("%.2f", mean_occupancy()) + ", max " +
        std::to_string(max_occupancy) + "\n";
+  // Both TTFT quantiles from one sorted pass over the samples.
+  const double qs[] = {0.5, 0.95};
+  const std::vector<double> ttft_q = percentiles(ttft_s, qs);
   s += "  latency:  queue wait mean " + fmt("%.2f", mean_queue_wait_steps()) +
-       " steps; TTFT p50 " + fmt("%.4f", ttft_p50_s()) + " s, p95 " +
-       fmt("%.4f", ttft_p95_s()) + " s\n";
+       " steps; TTFT p50 " + fmt("%.4f", ttft_q[0]) + " s, p95 " +
+       fmt("%.4f", ttft_q[1]) + " s\n";
   s += "  kv pool:  " + std::to_string(kv_used_tokens) + " / " +
        std::to_string(kv_budget_tokens) + " tokens in use, high water " +
        std::to_string(kv_high_water_tokens) + " tokens";
@@ -87,8 +122,13 @@ std::string Metrics::to_json() const {
   add_d("wall_s", wall_s);
   add_d("tokens_per_s", tokens_per_s());
   add_d("mean_queue_wait_steps", mean_queue_wait_steps());
-  add_d("ttft_p50_s", ttft_p50_s());
-  add_d("ttft_p95_s", ttft_p95_s());
+  {
+    // One sorted pass serves both TTFT quantiles.
+    const double qs[] = {0.5, 0.95};
+    const std::vector<double> ttft_q = percentiles(ttft_s, qs);
+    add_d("ttft_p50_s", ttft_q[0]);
+    add_d("ttft_p95_s", ttft_q[1]);
+  }
   add_i("kv_budget_tokens", kv_budget_tokens);
   add_i("kv_used_tokens", kv_used_tokens);
   add_i("kv_high_water_tokens", kv_high_water_tokens);

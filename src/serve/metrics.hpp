@@ -8,13 +8,33 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace nora::serve {
 
 /// q-th percentile (q in [0,1]) with linear interpolation; 0 on empty.
-double percentile(std::vector<double> values, double q);
+/// Takes the samples by const reference (the old by-value signature
+/// copied the whole vector per call) and sorts an internal scratch copy
+/// exactly once. For several quantiles over the same samples use
+/// percentiles() — one sort total instead of one per quantile.
+double percentile(std::span<const double> values, double q);
+/// Brace-literal convenience (std::span gains list-init only in C++26).
+inline double percentile(std::initializer_list<double> values, double q) {
+  return percentile(std::span<const double>(values.begin(), values.size()), q);
+}
+
+/// Evaluate all of `qs` (each in [0,1]) against `values` from a single
+/// sorted pass. Returns one result per quantile, in order; all zeros on
+/// an empty sample set (no sort performed).
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> qs);
+
+/// Process-wide count of sample sorts performed by percentile() /
+/// percentiles() — a test hook: the regression test asserts a metrics
+/// dump with N samples sorts at most once per sample vector.
+std::int64_t percentile_sort_count();
 
 struct Metrics {
   // Request outcomes.

@@ -190,6 +190,23 @@ bool Scheduler::admit_locked() {
 bool Scheduler::step() {
   std::unique_lock<std::mutex> lock(m_);
   // 1. Cancels flagged since the previous step.
+  //
+  // Cancel-vs-retire audit (exactly-once pool release): cancel() only
+  // flags an id; every state change happens here, under the lock, at a
+  // step boundary. A request can reach retire_locked through at most one
+  // of three doors per step — this cancels loop, the deadline sweep, or
+  // the harvest below — because each door first checks the live state
+  // (kQueued/kRunning) or membership in running_, and retire_locked
+  // immediately (a) flips the record to a terminal state, (b) removes the
+  // Active from running_ at the call site, and (c) nulls a.cache after
+  // releasing it. A cancel racing a natural finish in the same step is
+  // therefore safe in both orders: cancel-first retires the request and
+  // erases it from running_ before the harvest walks it; finish-first
+  // leaves the record terminal, so next step's cancels loop skips it (and
+  // a second cancel of the same id re-checks the state too). The
+  // KvCachePool::release throw on a non-live lease is the backstop
+  // asserting this invariant, and the cancel-at-every-step property test
+  // hammers it.
   for (const std::int64_t id : cancels_) {
     RequestRecord& rec = records_[static_cast<std::size_t>(id)];
     if (rec.state == RequestState::kQueued) {
@@ -259,29 +276,33 @@ bool Scheduler::step() {
 
   // 4. Build the batch. Per-request state is only read here; the model
   // call below runs without the lock so submit()/cancel() never block on
-  // a decode step.
-  std::vector<nn::TransformerLM::ServeSegment> segments;
-  segments.reserve(running_.size());
+  // a decode step. segments_ is member scratch (steady-state steps reuse
+  // its capacity); nothing outside step() touches it, and step() itself
+  // is single-caller by contract.
+  segments_.clear();
+  segments_.reserve(running_.size());
   for (Active& a : running_) {
-    segments.push_back({std::span<const int>(a.pending),
-                        a.cache,
-                        records_[static_cast<std::size_t>(a.id)].stream});
+    segments_.push_back({std::span<const int>(a.pending),
+                         a.cache,
+                         records_[static_cast<std::size_t>(a.id)].stream});
   }
   lock.unlock();
   const auto t0 = std::chrono::steady_clock::now();
-  Matrix logits = model_.forward_serve(segments);
+  Matrix logits = model_.forward_serve(segments_);
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   lock.lock();
   metrics_.wall_s += dt;
 
-  // 5. Harvest: greedy argmax of each segment's last row.
+  // 5. Harvest: greedy argmax of each segment's last row. Survivors are
+  // compacted in place (stable order) instead of round-tripping through
+  // a fresh `keep` vector every step.
   const std::int64_t vocab = model_.config().vocab_size;
   std::int64_t row = 0;
-  std::vector<Active> keep;
-  keep.reserve(running_.size());
-  for (Active& a : running_) {
+  std::size_t kept = 0;
+  for (std::size_t idx = 0; idx < running_.size(); ++idx) {
+    Active& a = running_[idx];
     row += static_cast<std::int64_t>(a.pending.size());
     const auto last = logits.row(row - 1);
     int best = 0;
@@ -310,10 +331,11 @@ bool Scheduler::step() {
     if (a.remaining <= 0 || full) {
       retire_locked(a, RequestState::kFinished);
     } else {
-      keep.push_back(std::move(a));
+      if (kept != idx) running_[kept] = std::move(a);
+      ++kept;
     }
   }
-  running_ = std::move(keep);
+  running_.resize(kept);
   ++step_;
 
   // 6. Integrity-monitor hook: fold serving time into the drift clock

@@ -175,6 +175,9 @@ class Scheduler {
   std::deque<std::int64_t> queue_;    // ids waiting for admission
   std::vector<Pending> params_;       // payloads of queued requests
   std::vector<Active> running_;       // current batch, admission order
+  // step() batch scratch: rebuilt each step, capacity reused. Only
+  // step() touches it (step is single-caller; submit/cancel don't).
+  std::vector<nn::TransformerLM::ServeSegment> segments_;
   std::vector<std::int64_t> cancels_;  // ids flagged since last step
   std::vector<RequestRecord> records_;  // indexed by id
   std::vector<double> submit_s_;      // wall submit time per id (epoch-rel)

@@ -36,6 +36,18 @@ Matrix Matrix::slice_rows(std::int64_t r0, std::int64_t r1) const {
   return out;
 }
 
+void Matrix::resize_rows(std::int64_t new_rows) {
+  if (new_rows < 0) {
+    throw std::invalid_argument("Matrix::resize_rows: negative row count");
+  }
+  data_.resize(static_cast<std::size_t>(new_rows * cols_), 0.0f);
+  rows_ = new_rows;
+}
+
+void Matrix::reserve_rows(std::int64_t rows) {
+  if (rows > 0) data_.reserve(static_cast<std::size_t>(rows * cols_));
+}
+
 Matrix Matrix::transposed() const {
   Matrix out(cols_, rows_);
   for (std::int64_t r = 0; r < rows_; ++r) {

@@ -50,6 +50,16 @@ class Matrix {
   Matrix slice_rows(std::int64_t r0, std::int64_t r1) const;
   Matrix transposed() const;
 
+  /// Change the row count in place (column count unchanged). Growth
+  /// zero-fills the new rows; existing rows keep their contents.
+  /// Shrinking retains the underlying storage, so shrink-then-regrow
+  /// within the high-water mark allocates nothing — this is what lets a
+  /// recycled KV slab serve its next request allocation-free.
+  void resize_rows(std::int64_t new_rows);
+  /// Pre-allocate storage for up to `rows` rows (shape unchanged), so
+  /// later resize_rows calls up to that limit never allocate.
+  void reserve_rows(std::int64_t rows);
+
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }

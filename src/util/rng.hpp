@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 namespace nora::util {
@@ -49,6 +50,21 @@ class Rng {
 
   /// Normal with the given mean / standard deviation.
   double gaussian(double mean, double stddev);
+
+  /// Batched standard normals: fills `out` with EXACTLY the sequence
+  /// out.size() successive gaussian() calls would produce — including
+  /// the Box-Muller pair cache, which is consumed first and left
+  /// populated when the total draw count is odd. Interleaving fills and
+  /// single draws is therefore bit-identical to an all-single-draw
+  /// sequence; the fill only amortizes the per-call state handling over
+  /// the whole span (the analog hot path drains thousands of draws per
+  /// tile pass).
+  void gaussian_fill(std::span<double> out);
+
+  /// Batched scaled draws: equivalent to
+  ///   for (auto& v : out) v = static_cast<float>(gaussian(mean, stddev));
+  /// bit for bit (same draws, same double arithmetic, same rounding).
+  void gaussian_fill(std::span<float> out, double mean, double stddev);
 
   /// Bernoulli with probability p of returning true.
   bool bernoulli(double p);

@@ -77,6 +77,38 @@ TEST_P(GoldenStreams, EverythingOnForwardMatchesPinnedValues) {
   util::ThreadPool::global().resize(1);
 }
 
+// Same contract for the keyed forward (the serve path): rows keyed on
+// explicit (stream, token) coordinates must reproduce these exact bits
+// at every thread count. Captured before the workspace-reuse rewrite of
+// the MVM kernels (batched gaussian_fill, fused IR-drop accumulate,
+// per-thread scratch); the rewrite must change zero output bits.
+constexpr Golden kKeyedGolden[] = {
+    {0, 3, -1.31310511f}, {0, 25, -2.49494028f}, {0, 49, 3.9100728f},
+    {2, 3, 2.39242101f},  {2, 25, -3.56807423f}, {2, 49, 4.11092043f},
+    {4, 3, -4.57111788f}, {4, 25, -7.67750311f}, {4, 49, 2.21436882f},
+};
+
+TEST_P(GoldenStreams, KeyedForwardMatchesPinnedValues) {
+  const int threads = GetParam();
+  util::ThreadPool::global().resize(threads);
+  const Matrix w = random_matrix(70, 50, 101);
+  const Matrix x = random_matrix(5, 70, 202, 1.0f);
+  cim::AnalogMatmul unit(w, {}, everything_on(threads), 31337);
+  // Two stream groups (t/3) with per-row token coordinates, as the
+  // scheduler produces for a prefill segment next to decode rows.
+  std::vector<cim::StreamKey> keys(5);
+  for (std::uint64_t t = 0; t < 5; ++t) keys[t] = {1000 + t / 3, 10 + t};
+  const Matrix y = unit.forward(x, keys);
+  for (const auto& g : kKeyedGolden) {
+    EXPECT_EQ(y.at(g.t, g.j), g.v)
+        << "t=" << g.t << " j=" << g.j << " threads=" << threads;
+  }
+  EXPECT_EQ(unit.stats().dac_samples, 350);
+  EXPECT_EQ(unit.adc_reads(), 750);
+  EXPECT_EQ(unit.abft_stats().checks, 45);
+  util::ThreadPool::global().resize(1);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, GoldenStreams, ::testing::Values(1, 2, 7, 16));
 
 TEST(GoldenStreams, DeriveStreamIsAFixedFunction) {

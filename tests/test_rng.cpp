@@ -109,5 +109,54 @@ TEST(Rng, DeriveSeedLabelSensitive) {
   EXPECT_EQ(derive_seed(5, "tile-0"), derive_seed(5, "tile-0"));
 }
 
+// The batched fill is the analog hot path's replacement for per-draw
+// gaussian() calls; bit-identity with the sequential sequence — cache
+// semantics included — is what keeps every golden output unchanged.
+TEST(Rng, GaussianFillMatchesSequentialDrawsBitForBit) {
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 1001u}) {
+    Rng seq(321), fill(321);
+    std::vector<double> want(n), got(n);
+    for (auto& v : want) v = seq.gaussian();
+    fill.gaussian_fill(got);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(want[i], got[i]) << n;
+    // End state identical too: the next draws must agree (this is what
+    // proves the odd-count leftover stays in the cache).
+    for (int i = 0; i < 5; ++i) ASSERT_EQ(seq.gaussian(), fill.gaussian()) << n;
+  }
+}
+
+TEST(Rng, GaussianFillInterleavesWithSingleDraws) {
+  // fills and single draws in any mixture == one long single-draw run.
+  Rng seq(777), mix(777);
+  std::vector<double> ref(1 + 3 + 1 + 4 + 5);
+  for (auto& v : ref) v = seq.gaussian();
+  std::size_t i = 0;
+  std::vector<double> buf;
+  ASSERT_EQ(ref[i++], mix.gaussian());  // cache now populated
+  buf.assign(3, 0.0);
+  mix.gaussian_fill(buf);  // consumes the cached draw first
+  for (double v : buf) ASSERT_EQ(ref[i++], v);
+  ASSERT_EQ(ref[i++], mix.gaussian());
+  buf.assign(4, 0.0);
+  mix.gaussian_fill(buf);
+  for (double v : buf) ASSERT_EQ(ref[i++], v);
+  buf.assign(5, 0.0);
+  mix.gaussian_fill(buf);
+  for (double v : buf) ASSERT_EQ(ref[i++], v);
+}
+
+TEST(Rng, ScaledGaussianFillMatchesSequentialScaledDraws) {
+  for (const std::size_t n : {1u, 2u, 9u, 128u}) {
+    Rng seq(55), fill(55);
+    seq.gaussian();   // leave a cached second draw behind
+    fill.gaussian();
+    std::vector<float> want(n), got(n);
+    for (auto& v : want) v = static_cast<float>(seq.gaussian(0.25, 1.75));
+    fill.gaussian_fill(got, 0.25, 1.75);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(want[i], got[i]) << n;
+    ASSERT_EQ(seq.gaussian(), fill.gaussian()) << n;
+  }
+}
+
 }  // namespace
 }  // namespace nora::util

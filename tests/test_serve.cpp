@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "cim/tile_config.hpp"
@@ -424,6 +425,77 @@ TEST(ServeIntegrity, MidServeAbftActionsDoNotCorruptInFlightOutputs) {
   }
 }
 
+TEST(Scheduler, CancelAtEveryStepReleasesPoolExactlyOnce) {
+  // cancel() may land at any step boundary relative to a request's
+  // natural retirement — including the very step it finishes on, and
+  // after it is already terminal. Whatever the interleaving, each slab
+  // must go back to the pool exactly once: KvCachePool::release throws
+  // on a non-live lease, so a double release aborts the test, and a
+  // missed release leaves used_tokens above zero.
+  nn::TransformerLM model(tiny_arch());
+  for (int k = 0;; ++k) {
+    SchedulerConfig cfg;
+    cfg.max_batch = 3;
+    Scheduler sched(model, cfg);
+    std::vector<std::int64_t> ids;
+    for (int i = 0; i < 4; ++i) {  // one more than max_batch: queue too
+      RequestParams p;
+      p.prompt = {1 + i, 2, 3};
+      p.max_new_tokens = 3 + i;
+      ids.push_back(sched.submit(std::move(p)));
+    }
+    for (int s = 0; s < k; ++s) sched.step();
+    bool any_live = false;
+    for (const auto id : ids) {
+      const RequestState st = sched.request(id).state;
+      any_live |= st == RequestState::kQueued || st == RequestState::kRunning;
+      sched.cancel(id);  // false on terminal ids; must never throw
+    }
+    ASSERT_NO_THROW(sched.run_until_idle()) << "cancel at step " << k;
+    EXPECT_EQ(sched.pool().live(), 0u) << "cancel at step " << k;
+    EXPECT_EQ(sched.pool().used_tokens(), 0) << "cancel at step " << k;
+    EXPECT_EQ(sched.in_flight(), 0u) << "cancel at step " << k;
+    for (const auto id : ids) {
+      const RequestState st = sched.request(id).state;
+      EXPECT_TRUE(st == RequestState::kCancelled ||
+                  st == RequestState::kFinished)
+          << "cancel at step " << k;
+    }
+    if (!any_live) break;  // k passed every natural retirement: done
+  }
+}
+
+TEST(Scheduler, ConcurrentCancelRacingStepsNeverDoubleReleases) {
+  // submit()/cancel() are allowed to race step() from other threads;
+  // hammer cancels over the whole run and require the same exactly-once
+  // release invariant at the end.
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  Scheduler sched(model, cfg);
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    RequestParams p;
+    p.prompt = {1 + i, 2};
+    p.max_new_tokens = 8;
+    ids.push_back(sched.submit(std::move(p)));
+  }
+  std::thread canceller([&sched, &ids] {
+    for (int round = 0; round < 200; ++round) {
+      for (const auto id : ids) sched.cancel(id);
+    }
+  });
+  sched.run_until_idle();
+  canceller.join();
+  EXPECT_EQ(sched.pool().live(), 0u);
+  EXPECT_EQ(sched.pool().used_tokens(), 0);
+  EXPECT_EQ(sched.in_flight(), 0u);
+  for (const auto& rec : sched.completed()) {
+    EXPECT_TRUE(rec.state == RequestState::kCancelled ||
+                rec.state == RequestState::kFinished);
+  }
+}
+
 TEST(ServeMetrics, PercentileAndDumpsAreWellFormed) {
   EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
   EXPECT_DOUBLE_EQ(percentile({3.0}, 0.95), 3.0);
@@ -446,6 +518,47 @@ TEST(ServeMetrics, PercentileAndDumpsAreWellFormed) {
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("\"finished\":1"), std::string::npos);
   EXPECT_NE(json.find("\"kv_budget_tokens\":"), std::string::npos);
+}
+
+TEST(ServeMetrics, FreshMetricsDumpIsSafe) {
+  // A dump before any traffic exercises every divide-by-count and
+  // empty-percentile guard; all aggregates must read as exact zeros.
+  const Metrics m;
+  EXPECT_DOUBLE_EQ(m.mean_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_queue_wait_steps(), 0.0);
+  EXPECT_DOUBLE_EQ(m.tokens_per_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.ttft_p50_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.ttft_p95_s(), 0.0);
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("serving metrics"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  const std::string json = m.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"ttft_p50_s\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tokens_per_s\":0"), std::string::npos);
+}
+
+TEST(ServeMetrics, DumpSortsTtftSamplesAtMostOnce) {
+  // Regression for the old percentile(): by-value vector copy + one
+  // re-sort per quantile. Both ttft quantiles in a dump must now come
+  // from a single sorted pass, and empty samples must not sort at all.
+  Metrics m;
+  m.ttft_s = {0.4, 0.1, 0.3, 0.2, 0.5};
+  std::int64_t before = percentile_sort_count();
+  const std::string text = m.to_string();
+  EXPECT_EQ(percentile_sort_count() - before, 1);
+  EXPECT_NE(text.find("p50 0.3000"), std::string::npos);
+  before = percentile_sort_count();
+  m.to_json();
+  EXPECT_EQ(percentile_sort_count() - before, 1);
+  m.ttft_s.clear();
+  before = percentile_sort_count();
+  m.to_string();
+  m.to_json();
+  EXPECT_DOUBLE_EQ(m.ttft_p50_s(), 0.0);
+  EXPECT_EQ(percentile_sort_count(), before);
 }
 
 }  // namespace
