@@ -1,0 +1,195 @@
+#include "chaos/chaos_engine.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace nora::chaos {
+
+namespace {
+// Event-kind ordinals for stream keying. Stable: renumbering would
+// change every replay schedule.
+enum Kind : std::uint64_t {
+  kUpset = 1,
+  kWear = 2,
+  kStorm = 3,
+  kSubmit = 4,
+  kBurst = 5,
+  kCancel = 6,
+  kShape = 7,  // request-shape draws (prompt/max_new/deadline/tokens)
+};
+}  // namespace
+
+ChaosEngine::ChaosEngine(serve::Scheduler& sched, nn::TransformerLM& model,
+                         ChaosConfig cfg)
+    : sched_(sched), model_(model), cfg_(cfg) {
+  base_ = util::derive_seed(cfg_.seed, "chaos-engine");
+  layers_ = model_.linear_layers();
+  if (cfg_.prompt_len_min < 1) cfg_.prompt_len_min = 1;
+  if (cfg_.prompt_len_max < cfg_.prompt_len_min) {
+    cfg_.prompt_len_max = cfg_.prompt_len_min;
+  }
+  if (cfg_.max_new_min < 1) cfg_.max_new_min = 1;
+  if (cfg_.max_new_max < cfg_.max_new_min) cfg_.max_new_max = cfg_.max_new_min;
+}
+
+std::uint64_t ChaosEngine::draw(std::int64_t step, std::uint64_t kind,
+                                std::uint64_t index) const {
+  return util::derive_stream(base_, static_cast<std::uint64_t>(step), kind,
+                             index);
+}
+
+double ChaosEngine::u01(std::uint64_t x) {
+  // Top 53 bits -> [0, 1), the standard double construction.
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+int ChaosEngine::count_for(double rate, std::int64_t step,
+                           std::uint64_t kind) const {
+  if (rate <= 0.0) return 0;
+  int n = static_cast<int>(rate);
+  const double frac = rate - static_cast<double>(n);
+  if (frac > 0.0 && u01(draw(step, kind, 0)) < frac) ++n;
+  return n;
+}
+
+void ChaosEngine::inject_upset(std::int64_t step, std::uint64_t index,
+                               bool storm) {
+  const std::uint64_t kind = storm ? kStorm : kUpset;
+  if (layers_.empty()) {
+    ++stats_.skipped;
+    return;
+  }
+  nn::Linear* lin =
+      layers_[draw(step, kind, index * 4 + 1) % layers_.size()];
+  cim::AnalogMatmul* am = lin->analog();
+  if (am == nullptr) {
+    // The monitor already dropped this layer to digital (or it was never
+    // analog): physical chaos has nothing to hit. Recorded, not retried
+    // elsewhere — a replay must take the same branch.
+    ++stats_.skipped;
+    return;
+  }
+  const std::int64_t k = static_cast<std::int64_t>(
+      draw(step, kind, index * 4 + 2) % static_cast<std::uint64_t>(am->in_dim()));
+  const std::int64_t n = static_cast<std::int64_t>(
+      draw(step, kind, index * 4 + 3) %
+      static_cast<std::uint64_t>(am->out_dim()));
+  // Storms pin devices at max conductance — the worst case for the ADC
+  // input range; ordinary upsets land anywhere in [0, 1).
+  const float g = storm
+                      ? 1.0f
+                      : static_cast<float>(u01(draw(step, kind, index * 4)));
+  am->upset_device(k, n, g);
+  ++stats_.upsets;
+}
+
+void ChaosEngine::inject_wear(std::int64_t step, std::uint64_t index) {
+  if (layers_.empty()) {
+    ++stats_.skipped;
+    return;
+  }
+  nn::Linear* lin =
+      layers_[draw(step, kWear, index * 4 + 1) % layers_.size()];
+  cim::AnalogMatmul* am = lin->analog();
+  if (am == nullptr) {
+    ++stats_.skipped;
+    return;
+  }
+  const std::int64_t k = static_cast<std::int64_t>(
+      draw(step, kWear, index * 4 + 2) %
+      static_cast<std::uint64_t>(am->in_dim()));
+  const std::int64_t n = static_cast<std::int64_t>(
+      draw(step, kWear, index * 4 + 3) %
+      static_cast<std::uint64_t>(am->out_dim()));
+  // Broken silicon is stuck off or stuck on, not somewhere nice.
+  const bool on = (draw(step, kWear, index * 4) & 1) != 0;
+  am->wear_stuck(k, n, on ? 1.0f : 0.0f);
+  ++stats_.wears;
+}
+
+void ChaosEngine::submit_one(std::int64_t step, std::uint64_t index) {
+  const std::int64_t vocab = model_.config().vocab_size;
+  serve::RequestParams p;
+  // 64 keyed draws per request keep token draws collision-free for any
+  // prompt length the serve layer accepts under the tiny test models.
+  const std::uint64_t slot = index * 64;
+  const std::uint64_t h = draw(step, kShape, slot);
+  const int len = cfg_.prompt_len_min +
+                  static_cast<int>(h % static_cast<std::uint64_t>(
+                                           cfg_.prompt_len_max -
+                                           cfg_.prompt_len_min + 1));
+  p.prompt.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    p.prompt.push_back(static_cast<int>(
+        draw(step, kShape, slot + 8 + static_cast<std::uint64_t>(i)) %
+        static_cast<std::uint64_t>(vocab)));
+  }
+  const std::uint64_t h2 = draw(step, kShape, slot + 1);
+  p.max_new_tokens =
+      cfg_.max_new_min +
+      static_cast<int>(h2 % static_cast<std::uint64_t>(
+                                cfg_.max_new_max - cfg_.max_new_min + 1));
+  const std::uint64_t h3 = draw(step, kShape, slot + 2);
+  if (cfg_.deadline_prob > 0.0 && u01(h3) < cfg_.deadline_prob) {
+    p.deadline_steps =
+        cfg_.deadline_min +
+        static_cast<std::int64_t>(
+            (h3 >> 8) % static_cast<std::uint64_t>(
+                            cfg_.deadline_max - cfg_.deadline_min + 1));
+  }
+  ids_.push_back(sched_.submit(std::move(p)));
+  ++stats_.submits;
+}
+
+void ChaosEngine::cancel_one(std::int64_t step, std::uint64_t index) {
+  const auto snap_size =
+      static_cast<std::uint64_t>(sched_.audit_snapshot().states.size());
+  if (snap_size == 0) {
+    ++stats_.skipped;
+    return;
+  }
+  // Bias toward the most recent submissions: old ids are almost always
+  // terminal already, and a cancel that always lands on a terminal id
+  // never exercises the racing-cancel path it exists to hammer.
+  const std::uint64_t window = std::min<std::uint64_t>(snap_size, 64);
+  const std::int64_t id = static_cast<std::int64_t>(
+      snap_size - 1 - draw(step, kCancel, index * 2 + 1) % window);
+  ++stats_.cancels_attempted;
+  if (sched_.cancel(id)) ++stats_.cancels_accepted;
+}
+
+void ChaosEngine::tick(std::int64_t step) {
+  // Physical faults first, traffic second: a step's upsets are visible
+  // to the decode that the scheduler runs right after this tick.
+  const int upsets = count_for(cfg_.upset_rate, step, kUpset);
+  for (int i = 0; i < upsets; ++i) {
+    inject_upset(step, static_cast<std::uint64_t>(i) + 1, /*storm=*/false);
+  }
+  const int wears = count_for(cfg_.wear_rate, step, kWear);
+  for (int i = 0; i < wears; ++i) {
+    inject_wear(step, static_cast<std::uint64_t>(i) + 1);
+  }
+  if (cfg_.adc_storm_rate > 0.0 &&
+      u01(draw(step, kStorm, 0)) < cfg_.adc_storm_rate) {
+    ++stats_.storms;
+    for (int i = 0; i < cfg_.adc_storm_size; ++i) {
+      inject_upset(step, static_cast<std::uint64_t>(i) + 1, /*storm=*/true);
+    }
+  }
+  std::uint64_t shape_index = static_cast<std::uint64_t>(step) << 8;
+  if (cfg_.submit_rate > 0.0 &&
+      u01(draw(step, kSubmit, 0)) < cfg_.submit_rate) {
+    submit_one(step, shape_index++);
+  }
+  if (cfg_.burst_rate > 0.0 && u01(draw(step, kBurst, 0)) < cfg_.burst_rate) {
+    ++stats_.bursts;
+    for (int i = 0; i < cfg_.burst_size; ++i) submit_one(step, shape_index++);
+  }
+  if (cfg_.cancel_rate > 0.0 &&
+      u01(draw(step, kCancel, 0)) < cfg_.cancel_rate) {
+    cancel_one(step, 1);
+  }
+}
+
+}  // namespace nora::chaos

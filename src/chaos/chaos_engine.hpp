@@ -1,0 +1,118 @@
+// Deterministic chaos injection for the serving stack.
+//
+// The ChaosEngine drives every failure mode the runtime claims to
+// survive — transient device upsets, permanent wear, ADC-saturation
+// storms, KV-budget pressure, request bursts and racing cancels — on a
+// REPLAYABLE schedule: each step's events are decided by counter-keyed
+// draws over (seed, step, event-kind, index), never by a shared
+// stateful RNG, so the same seed produces the same injection schedule
+// run after run regardless of what the scheduler did in between. That
+// is what makes a chaos soak debuggable: a violating run can be
+// replayed exactly from its seed.
+//
+// The engine uses the scheduler's virtual step clock, not wall time.
+// tick(step) is called once per soak iteration before Scheduler::step()
+// and injects everything scheduled for that step. With all rates at
+// zero, tick() is a no-op and the serve output must be bit-identical to
+// a chaos-free run — the regression gate in bench/chaos_soak.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/transformer.hpp"
+#include "serve/scheduler.hpp"
+
+namespace nora::chaos {
+
+struct ChaosConfig {
+  std::uint64_t seed = 2300;
+
+  /// Expected transient device upsets per step (fractional rates fire
+  /// probabilistically; >1 fires multiple per step). Each upset flips a
+  /// random device of a random analog layer to a random conductance in
+  /// [0, 1) until the next drift re-read.
+  double upset_rate = 0.0;
+  /// Expected permanent stuck devices per step (wear_stuck: survives
+  /// re-reads and refreshes). Stuck-off (0) or stuck-on (~max) g.
+  double wear_rate = 0.0;
+  /// Probability per step of an ADC-saturation storm: a burst of
+  /// `adc_storm_size` max-conductance upsets concentrated on one layer,
+  /// driving output currents into ADC saturation until re-read.
+  double adc_storm_rate = 0.0;
+  int adc_storm_size = 32;
+
+  /// Probability per step of one background request submission.
+  double submit_rate = 0.0;
+  /// Probability per step of a submission burst (queue/KV pressure).
+  double burst_rate = 0.0;
+  int burst_size = 4;
+  /// Probability per step of cancelling a uniformly random id among all
+  /// ever submitted (terminal ids are no-ops — that is the race).
+  double cancel_rate = 0.0;
+
+  // Shape of chaos-generated traffic.
+  int prompt_len_min = 1;
+  int prompt_len_max = 8;
+  int max_new_min = 1;
+  int max_new_max = 12;
+  /// Fraction of chaos requests given a finite deadline (exercises
+  /// expiry under load); drawn from [deadline_min, deadline_max] steps.
+  double deadline_prob = 0.0;
+  int deadline_min = 4;
+  int deadline_max = 64;
+};
+
+/// Tally of everything actually injected (skips count scheduled events
+/// whose target was gone, e.g. an upset aimed at a layer the monitor
+/// already dropped to digital).
+struct ChaosStats {
+  std::int64_t upsets = 0;
+  std::int64_t wears = 0;
+  std::int64_t storms = 0;
+  std::int64_t submits = 0;
+  std::int64_t bursts = 0;
+  std::int64_t cancels_attempted = 0;
+  std::int64_t cancels_accepted = 0;
+  std::int64_t skipped = 0;
+  std::int64_t total_events() const {
+    return upsets + wears + storms + submits + bursts + cancels_attempted;
+  }
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine(serve::Scheduler& sched, nn::TransformerLM& model,
+              ChaosConfig cfg);
+
+  /// Inject everything scheduled for virtual step `step`. Idempotence
+  /// is NOT provided — call once per step, before Scheduler::step().
+  void tick(std::int64_t step);
+
+  const ChaosStats& stats() const { return stats_; }
+  /// Ids of every request this engine submitted (for harness bookkeeping).
+  const std::vector<std::int64_t>& submitted_ids() const { return ids_; }
+
+ private:
+  // Keyed draw helpers: every random decision is a pure function of
+  // (cfg_.seed, step, kind, index).
+  std::uint64_t draw(std::int64_t step, std::uint64_t kind,
+                     std::uint64_t index) const;
+  static double u01(std::uint64_t x);
+  int count_for(double rate, std::int64_t step, std::uint64_t kind) const;
+
+  void inject_upset(std::int64_t step, std::uint64_t index, bool storm);
+  void inject_wear(std::int64_t step, std::uint64_t index);
+  void submit_one(std::int64_t step, std::uint64_t index);
+  void cancel_one(std::int64_t step, std::uint64_t index);
+
+  serve::Scheduler& sched_;
+  nn::TransformerLM& model_;
+  ChaosConfig cfg_;
+  std::uint64_t base_ = 0;
+  std::vector<nn::Linear*> layers_;  // all linear layers, analog or not
+  ChaosStats stats_;
+  std::vector<std::int64_t> ids_;
+};
+
+}  // namespace nora::chaos

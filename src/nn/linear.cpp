@@ -49,10 +49,11 @@ Matrix Linear::forward(const Matrix& x, bool training) {
               grown.data() + captured_inputs_.size());
     captured_inputs_ = std::move(grown);
   }
-  Matrix y = analog_ ? analog_->forward(x)
-             : int8_ ? quant::int8_linear(x, w_.value, int8_s_, nullptr,
-                                          int8_static_scale_)
-                     : ops::matmul(x, w_.value);
+  Matrix y = analog_ && !digital_bypass_ ? analog_->forward(x)
+             : int8_ && !digital_bypass_
+                 ? quant::int8_linear(x, w_.value, int8_s_, nullptr,
+                                      int8_static_scale_)
+                 : ops::matmul(x, w_.value);
   ops::add_row_vector(y, b_.value.row(0));
   if (training) {
     if (analog_ || int8_) {
@@ -69,10 +70,11 @@ Matrix Linear::forward_keyed(const Matrix& x,
     throw std::invalid_argument("Linear::forward_keyed: input dim mismatch (" +
                                 name_ + ")");
   }
-  Matrix y = analog_ ? analog_->forward(x, keys)
-             : int8_ ? quant::int8_linear(x, w_.value, int8_s_, nullptr,
-                                          int8_static_scale_)
-                     : ops::matmul(x, w_.value);
+  Matrix y = analog_ && !digital_bypass_ ? analog_->forward(x, keys)
+             : int8_ && !digital_bypass_
+                 ? quant::int8_linear(x, w_.value, int8_s_, nullptr,
+                                      int8_static_scale_)
+                 : ops::matmul(x, w_.value);
   ops::add_row_vector(y, b_.value.row(0));
   return y;
 }

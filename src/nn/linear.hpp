@@ -59,6 +59,15 @@ class Linear {
   cim::AnalogMatmul* analog() { return analog_.get(); }
   const cim::AnalogMatmul* analog() const { return analog_.get(); }
 
+  /// Non-destructive digital detour: while set, forwards run the exact
+  /// fp32 GEMM but the analog (or INT8) backend stays programmed and
+  /// resumes untouched when the bypass clears. This is the serving
+  /// layer's maintenance-window path — the tiles are "off line" being
+  /// repaired, yet the deployment (conductances, wear record, NORA
+  /// rescale) must survive, unlike to_digital() which discards it.
+  void set_digital_bypass(bool on) { digital_bypass_ = on; }
+  bool digital_bypass() const { return digital_bypass_; }
+
   // --- calibration hooks (used by the NORA calibration pass) ---
   /// While enabled, digital forwards accumulate per-input-channel
   /// max|x_k| into input_abs_max().
@@ -81,6 +90,7 @@ class Linear {
   Param w_;  // [in x out]
   Param b_;  // [1 x out]
   std::unique_ptr<cim::AnalogMatmul> analog_;
+  bool digital_bypass_ = false;
   bool int8_ = false;
   std::vector<float> int8_s_;
   float int8_static_scale_ = 0.0f;

@@ -285,4 +285,8 @@ void TransformerLM::to_digital() {
   for (auto* lin : linear_layers()) lin->to_digital();
 }
 
+void TransformerLM::set_digital_bypass(bool on) {
+  for (auto* lin : linear_layers()) lin->set_digital_bypass(on);
+}
+
 }  // namespace nora::nn

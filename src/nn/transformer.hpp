@@ -101,6 +101,11 @@ class TransformerLM {
   bool is_analog() const;
   /// Revert every linear layer to the digital backend.
   void to_digital();
+  /// Route every linear layer through its exact fp32 GEMM without
+  /// discarding the analog/INT8 deployment (see Linear::
+  /// set_digital_bypass). The serving layer flips this around
+  /// maintenance windows while the tiles are being repaired.
+  void set_digital_bypass(bool on);
 
  private:
   TransformerConfig cfg_;

@@ -1,5 +1,6 @@
 #include "runtime/integrity_monitor.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <stdexcept>
 
@@ -17,9 +18,16 @@ const char* to_string(RefreshPolicy policy) {
 }
 
 RefreshPolicy refresh_policy_from_string(const std::string& name) {
-  if (name == "never") return RefreshPolicy::kNever;
-  if (name == "periodic") return RefreshPolicy::kPeriodic;
-  if (name == "watchdog") return RefreshPolicy::kWatchdog;
+  // Case-insensitive: CLI flags and config files spell these every way
+  // ("Watchdog", "PERIODIC"); the error still echoes the original input.
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "never") return RefreshPolicy::kNever;
+  if (lower == "periodic") return RefreshPolicy::kPeriodic;
+  if (lower == "watchdog") return RefreshPolicy::kWatchdog;
   throw std::invalid_argument("unknown refresh policy: " + name);
 }
 

@@ -1,0 +1,64 @@
+// Step-wise conservation auditor for the serving layer.
+//
+// The chaos-soak harness (bench/chaos_soak) drives the scheduler through
+// injected faults, bursts and racing cancels; the Auditor is the oracle
+// that says whether the system actually held together. After every step
+// it takes one consistent AuditSnapshot and checks the conservation
+// invariants that no amount of chaos may break:
+//
+//   * slab conservation: pool acquires - releases == live leases, and
+//     used tokens stay within [0, budget];
+//   * state conservation: every submitted id is in exactly one state,
+//     terminal states are frozen (a finished/cancelled/expired/rejected
+//     request never changes state or token count again), and the
+//     running-state count matches the scheduler's active batch;
+//   * metrics conservation: outcome counters sum back to `submitted`,
+//     the per-code reject breakdown sums to `rejected`, and the token
+//     totals (generated, degraded) equal the per-request tallies of
+//     terminal records;
+//   * idle drain: once nothing is queued or running, the pool is empty
+//     (zero leaked slabs) and every request reached a terminal state.
+//
+// Violations are collected as human-readable strings rather than thrown,
+// so a soak run reports ALL breakage of a step, then exits nonzero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace nora::serve {
+
+class Auditor {
+ public:
+  explicit Auditor(const Scheduler& sched) : sched_(sched) {}
+
+  /// Audit the scheduler's current cross-section. Returns the number of
+  /// NEW violations found by this check (0 = clean).
+  std::size_t check();
+
+  /// Audit an idle scheduler: everything check() asserts, plus the
+  /// drain invariants (all ids terminal, zero live slabs, pool empty,
+  /// acquires == releases).
+  std::size_t check_idle();
+
+  std::int64_t checks() const { return checks_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+
+ private:
+  std::size_t audit(const AuditSnapshot& s, bool idle);
+  void expect(bool ok, std::int64_t step, const std::string& msg);
+
+  const Scheduler& sched_;
+  std::int64_t checks_ = 0;
+  std::size_t found_this_check_ = 0;
+  std::vector<std::string> violations_;
+  // Terminal-freeze tracking across checks (indexed by request id).
+  std::vector<RequestState> prev_states_;
+  std::vector<std::int64_t> prev_tokens_;
+};
+
+}  // namespace nora::serve

@@ -31,6 +31,7 @@ nn::KvCache* KvCachePool::acquire(std::int64_t tokens) {
   }
   free_slab->lease_tokens = tokens;
   free_slab->cache->capacity = tokens;
+  ++acquires_;
   used_ += tokens;
   if (used_ > high_water_) high_water_ = used_;
   return free_slab->cache.get();
@@ -42,6 +43,7 @@ void KvCachePool::release(nn::KvCache* cache) {
     if (s.cache.get() == cache && s.lease_tokens > 0) {
       used_ -= s.lease_tokens;
       s.lease_tokens = 0;
+      ++releases_;
       // Trim rather than clear: the per-layer block vector survives, so
       // the recycled slab re-enters service allocation-free.
       cache->trim(0);
@@ -65,6 +67,16 @@ std::int64_t KvCachePool::free_tokens() const {
 std::int64_t KvCachePool::high_water_tokens() const {
   std::lock_guard<std::mutex> lock(m_);
   return high_water_;
+}
+
+std::int64_t KvCachePool::total_acquires() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return acquires_;
+}
+
+std::int64_t KvCachePool::total_releases() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return releases_;
 }
 
 std::size_t KvCachePool::live() const {

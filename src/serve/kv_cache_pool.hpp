@@ -47,6 +47,12 @@ class KvCachePool {
   std::int64_t high_water_tokens() const;
   /// Live leases.
   std::size_t live() const;
+  /// Lifetime successful acquire() / release() counts. The serve
+  /// Auditor's slab-conservation invariant is
+  ///   total_acquires - total_releases == live
+  /// at every step, and both-equal at idle (zero leaked slabs).
+  std::int64_t total_acquires() const;
+  std::int64_t total_releases() const;
 
  private:
   struct Slab {
@@ -59,6 +65,8 @@ class KvCachePool {
   std::int64_t bytes_per_token_ = 0;
   std::int64_t used_ = 0;
   std::int64_t high_water_ = 0;
+  std::int64_t acquires_ = 0;
+  std::int64_t releases_ = 0;
   std::vector<Slab> slabs_;
 };
 

@@ -64,6 +64,26 @@ std::string Metrics::to_string() const {
        std::to_string(finished) + " finished, " + std::to_string(cancelled) +
        " cancelled, " + std::to_string(expired) + " expired, " +
        std::to_string(rejected) + " rejected\n";
+  if (rejected > 0) {
+    s += "  rejects:  ";
+    bool first = true;
+    for (std::size_t c = 0; c < rejected_by_code.size(); ++c) {
+      if (rejected_by_code[c] == 0) continue;
+      if (!first) s += ", ";
+      s += std::string(nora::serve::to_string(static_cast<ServeError>(c))) +
+           " " +
+           std::to_string(rejected_by_code[c]);
+      first = false;
+    }
+    s += "\n";
+  }
+  if (retries > 0 || maintenance_windows > 0 || degraded_tokens > 0) {
+    s += "  degraded: " + std::to_string(retries) + " retries, " +
+         std::to_string(maintenance_windows) + " maintenance windows (" +
+         std::to_string(maintenance_steps) + " steps), " +
+         std::to_string(degraded_tokens) + " fallback tokens, " +
+         std::to_string(wasted_tokens) + " wasted tokens\n";
+  }
   s += "  tokens:   " + std::to_string(prompt_tokens) + " prompt, " +
        std::to_string(generated_tokens) + " generated";
   if (wall_s > 0.0) {
@@ -113,6 +133,25 @@ std::string Metrics::to_json() const {
   add_i("cancelled", cancelled);
   add_i("expired", expired);
   add_i("rejected", rejected);
+  {
+    // Per-code reject counts under one nested object, stable key order.
+    s += "\"rejected_by_code\":{";
+    bool first = true;
+    for (std::size_t c = 1; c < rejected_by_code.size(); ++c) {
+      if (rejected_by_code[c] == 0) continue;
+      if (!first) s += ",";
+      s += std::string("\"") +
+           nora::serve::to_string(static_cast<ServeError>(c)) +
+           "\":" + std::to_string(rejected_by_code[c]);
+      first = false;
+    }
+    s += "},";
+  }
+  add_i("retries", retries);
+  add_i("maintenance_windows", maintenance_windows);
+  add_i("maintenance_steps", maintenance_steps);
+  add_i("degraded_tokens", degraded_tokens);
+  add_i("wasted_tokens", wasted_tokens);
   add_i("steps", steps);
   add_i("busy_steps", busy_steps);
   add_d("mean_occupancy", mean_occupancy());

@@ -7,10 +7,13 @@
 // time-to-first-token numbers the serve_throughput bench reports.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "serve/serve_error.hpp"
 
 namespace nora::serve {
 
@@ -44,6 +47,17 @@ struct Metrics {
   std::int64_t cancelled = 0;
   std::int64_t expired = 0;
   std::int64_t rejected = 0;
+  /// rejected, broken down by structured cause (indexed by ServeError;
+  /// sums to `rejected`). kNone stays zero by construction.
+  std::array<std::int64_t, static_cast<std::size_t>(ServeError::kCount)>
+      rejected_by_code{};
+
+  // Degraded-mode serving and retry/backoff.
+  std::int64_t retries = 0;            // transient-condition requeues
+  std::int64_t maintenance_windows = 0;  // windows opened by monitor actions
+  std::int64_t maintenance_steps = 0;    // busy steps served under a window
+  std::int64_t degraded_tokens = 0;    // tokens emitted via digital fallback
+  std::int64_t wasted_tokens = 0;      // tokens discarded by retried attempts
 
   // Scheduler activity.
   std::int64_t steps = 0;       // step() calls that had any work to consider
@@ -87,6 +101,9 @@ struct Metrics {
   }
   double ttft_p50_s() const { return percentile(ttft_s, 0.5); }
   double ttft_p95_s() const { return percentile(ttft_s, 0.95); }
+  std::int64_t rejected_with(ServeError code) const {
+    return rejected_by_code[static_cast<std::size_t>(code)];
+  }
 
   /// Multi-line human-readable dump.
   std::string to_string() const;

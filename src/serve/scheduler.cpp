@@ -43,6 +43,16 @@ Scheduler::Scheduler(nn::TransformerLM& model, SchedulerConfig cfg)
   if (cfg_.step_dt_s < 0.0f) {
     throw std::invalid_argument("Scheduler: negative step_dt_s");
   }
+  if (cfg_.retry.max_attempts < 1) {
+    throw std::invalid_argument("Scheduler: retry.max_attempts must be >= 1");
+  }
+  if (cfg_.retry.backoff_base_steps < 1 || cfg_.retry.backoff_cap_steps < 1 ||
+      cfg_.retry.jitter_steps < 0) {
+    throw std::invalid_argument("Scheduler: invalid retry backoff/jitter");
+  }
+  if (cfg_.maintenance_window_steps < 0) {
+    throw std::invalid_argument("Scheduler: negative maintenance window");
+  }
   metrics_.kv_budget_tokens = pool_.budget_tokens();
   metrics_.kv_bytes_per_token = pool_.bytes_per_token();
 }
@@ -62,6 +72,37 @@ std::int64_t Scheduler::footprint(const RequestParams& p) const {
   return std::min(want, model_.config().max_seq);
 }
 
+std::int64_t Scheduler::backoff_steps_locked(std::int64_t id,
+                                             int attempt) const {
+  // Bounded exponential: attempt 2 waits base, attempt 3 waits 2*base,
+  // ... capped. Jitter comes from a counter-keyed stream over
+  // (seed, id, attempt), never from a shared stateful RNG, so the retry
+  // schedule of a given workload is bit-identical across runs and
+  // independent of what else is in flight.
+  const RetryPolicy& r = cfg_.retry;
+  std::int64_t b = r.backoff_base_steps;
+  for (int k = 2; k < attempt && b < r.backoff_cap_steps; ++k) b *= 2;
+  b = std::min<std::int64_t>(b, r.backoff_cap_steps);
+  if (r.jitter_steps > 0) {
+    const std::uint64_t draw = util::derive_stream(
+        util::derive_seed(cfg_.seed, "serve-retry"),
+        static_cast<std::uint64_t>(id), static_cast<std::uint64_t>(attempt));
+    b += static_cast<std::int64_t>(
+        draw % static_cast<std::uint64_t>(r.jitter_steps + 1));
+  }
+  return std::max<std::int64_t>(b, 1);
+}
+
+void Scheduler::reject_locked(RequestRecord& rec, ServeError code,
+                              std::string detail) {
+  rec.state = RequestState::kRejected;
+  rec.error = code;
+  rec.error_detail = std::move(detail);
+  rec.finish_step = step_;
+  ++metrics_.rejected;
+  ++metrics_.rejected_by_code[static_cast<std::size_t>(code)];
+}
+
 std::int64_t Scheduler::submit(RequestParams params) {
   std::lock_guard<std::mutex> lock(m_);
   const std::int64_t id = next_id_++;
@@ -77,25 +118,39 @@ std::int64_t Scheduler::submit(RequestParams params) {
   ++metrics_.submitted;
   submit_s_.push_back(now_s());
 
-  std::string reason;
+  ServeError code = ServeError::kNone;
+  std::string detail;
   if (params.prompt.empty()) {
-    reason = "empty prompt";
+    code = ServeError::kEmptyPrompt;
   } else if (params.max_new_tokens <= 0) {
-    reason = "non-positive max_new_tokens";
+    code = ServeError::kMaxTokensNonPositive;
+    detail = "max_new_tokens = " + std::to_string(params.max_new_tokens);
+  } else if (params.deadline_steps < 0) {
+    // 0 is the documented "no deadline"; a negative value is a caller
+    // bug, not an immediately-expired request — reject it loudly.
+    code = ServeError::kDeadlineNegative;
+    detail = "deadline_steps = " + std::to_string(params.deadline_steps);
   } else if (static_cast<std::int64_t>(params.prompt.size()) >=
              model_.config().max_seq) {
-    reason = "prompt leaves no room under max_seq";
+    code = ServeError::kPromptTooLong;
+    detail = std::to_string(params.prompt.size()) + " tokens leave no room "
+             "under max_seq " + std::to_string(model_.config().max_seq);
   } else if (footprint(params) > pool_.budget_tokens()) {
-    reason = "KV footprint exceeds pool budget";
+    code = ServeError::kFootprintOverBudget;
+    detail = "KV footprint " + std::to_string(footprint(params)) +
+             " > pool budget " + std::to_string(pool_.budget_tokens());
+  } else if (cfg_.reject_during_maintenance && in_maintenance_locked()) {
+    code = ServeError::kMaintenance;
+    detail = "maintenance window open until step " +
+             std::to_string(maintenance_until_);
   } else if (cfg_.queue_capacity > 0 &&
              queue_.size() >= cfg_.queue_capacity) {
-    reason = "queue full";
+    code = ServeError::kQueueFull;
+    detail = std::to_string(queue_.size()) + " waiting (capacity " +
+             std::to_string(cfg_.queue_capacity) + ")";
   }
-  if (!reason.empty()) {
-    rec.state = RequestState::kRejected;
-    rec.reject_reason = std::move(reason);
-    rec.finish_step = step_;
-    ++metrics_.rejected;
+  if (code != ServeError::kNone) {
+    reject_locked(rec, code, std::move(detail));
     records_.push_back(std::move(rec));
     return id;
   }
@@ -104,7 +159,10 @@ std::int64_t Scheduler::submit(RequestParams params) {
   records_.push_back(std::move(rec));
   // Stash the params on the record's running twin at admission time; the
   // queue holds only ids, the prompt lives in params_.
-  params_.push_back({id, std::move(params)});
+  Pending p;
+  p.id = id;
+  p.params = std::move(params);
+  params_.push_back(std::move(p));
   queue_.push_back(id);
   return id;
 }
@@ -125,6 +183,7 @@ void Scheduler::retire_locked(Active& a, RequestState state) {
   rec.wall_s = now_s() - submit_s_[static_cast<std::size_t>(a.id)];
   metrics_.request_wall_s.push_back(rec.wall_s);
   metrics_.generated_tokens += static_cast<std::int64_t>(rec.tokens.size());
+  metrics_.degraded_tokens += rec.degraded_tokens;
   if (a.cache != nullptr) {
     pool_.release(a.cache);
     a.cache = nullptr;
@@ -137,54 +196,141 @@ void Scheduler::retire_locked(Active& a, RequestState state) {
   }
 }
 
+void Scheduler::requeue_locked(Active& a) {
+  // Transient failure: the attempt is abandoned — its slab goes back to
+  // the pool and its partial output is discarded (a retry restarts the
+  // prompt from scratch; keeping half of an old decode would splice two
+  // different noise histories into one "output"). The request itself
+  // returns to the queue with exponential backoff.
+  RequestRecord& rec = records_[static_cast<std::size_t>(a.id)];
+  rec.state = RequestState::kQueued;
+  metrics_.wasted_tokens += static_cast<std::int64_t>(rec.tokens.size());
+  rec.tokens.clear();
+  rec.logits.clear();
+  rec.degraded_tokens = 0;
+  if (a.cache != nullptr) {
+    pool_.release(a.cache);
+    a.cache = nullptr;
+  }
+  ++metrics_.retries;
+  Pending p;
+  p.id = a.id;
+  p.params = std::move(a.origin);
+  p.attempt = a.attempt + 1;
+  p.not_before = step_ + backoff_steps_locked(a.id, p.attempt);
+  ++rec.attempts;
+  params_.push_back(std::move(p));
+  queue_.push_back(a.id);
+}
+
 bool Scheduler::admit_locked() {
+  // Admission is paused for the whole maintenance window: the analog
+  // substrate is being repaired, and prefilling new requests through
+  // the digital bypass would silently hand out fully-degraded outputs.
+  if (in_maintenance_locked()) return false;
   bool admitted_any = false;
-  while (!queue_.empty() &&
+  // Index walk instead of front-pop: backoff-delayed retries are
+  // *skipped* (they forfeited their FIFO position), while a ready
+  // request blocked on the pool still halts the scan under the queue
+  // policy (no overtake). Entries appended during the walk (requeues)
+  // are not rescanned this step.
+  std::size_t qi = 0;
+  std::size_t scan_end = queue_.size();
+  while (qi < scan_end &&
          static_cast<int>(running_.size()) < cfg_.max_batch) {
-    const std::int64_t id = queue_.front();
+    const std::int64_t id = queue_[qi];
     RequestRecord& rec = records_[static_cast<std::size_t>(id)];
     auto pit = std::find_if(params_.begin(), params_.end(),
                             [&](const Pending& p) { return p.id == id; });
     if (rec.state != RequestState::kQueued || pit == params_.end()) {
       // Cancelled / expired while queued; params already dropped.
-      queue_.pop_front();
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+      --scan_end;
+      continue;
+    }
+    if (pit->not_before > step_) {
+      ++qi;  // still backing off; younger requests may overtake
       continue;
     }
     nn::KvCache* cache = pool_.acquire(footprint(pit->params));
     if (cache == nullptr) {
-      if (cfg_.reject_on_pool_full) {
-        rec.state = RequestState::kRejected;
-        rec.reject_reason = "KV pool full";
-        rec.finish_step = step_;
-        ++metrics_.rejected;
-        params_.erase(pit);
-        queue_.pop_front();
+      if (!cfg_.reject_on_pool_full) {
+        // FIFO: wait for retirements to free budget rather than letting
+        // a smaller request overtake the head of the queue.
+        break;
+      }
+      if (pit->attempt < cfg_.retry.max_attempts) {
+        // Transient: schedule another attempt with backoff instead of
+        // failing the request outright. It moves to the back of the
+        // queue — it forfeits its position for this attempt.
+        pit->attempt += 1;
+        pit->not_before = step_ + backoff_steps_locked(id, pit->attempt);
+        ++rec.attempts;
+        ++metrics_.retries;
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+        --scan_end;
+        queue_.push_back(id);
         continue;
       }
-      // FIFO: wait for retirements to free budget rather than letting a
-      // smaller request overtake the head of the queue.
-      break;
+      const bool retried = pit->attempt > 1;
+      reject_locked(
+          rec,
+          retried ? ServeError::kRetryBudgetExhausted
+                  : ServeError::kPoolExhausted,
+          retried ? "pool still full after " + std::to_string(pit->attempt) +
+                        " attempts"
+                  : "KV footprint " + std::to_string(footprint(pit->params)) +
+                        " > " + std::to_string(pool_.free_tokens()) +
+                        " free tokens");
+      params_.erase(pit);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+      --scan_end;
+      continue;
     }
     rec.state = RequestState::kRunning;
-    rec.start_step = step_;
+    if (rec.start_step < 0) {
+      rec.start_step = step_;
+      metrics_.queue_wait_steps_sum +=
+          static_cast<double>(step_ - rec.submit_step);
+    }
     ++metrics_.admitted;
     metrics_.prompt_tokens += rec.prompt_tokens;
-    metrics_.queue_wait_steps_sum +=
-        static_cast<double>(step_ - rec.submit_step);
     Active a;
     a.id = id;
     a.cache = cache;
-    a.pending = std::move(pit->params.prompt);
-    a.remaining = pit->params.max_new_tokens;
-    a.deadline_step = pit->params.deadline_steps > 0
-                          ? rec.submit_step + pit->params.deadline_steps
+    a.attempt = pit->attempt;
+    a.origin = std::move(pit->params);
+    a.pending.assign(a.origin.prompt.begin(), a.origin.prompt.end());
+    a.remaining = a.origin.max_new_tokens;
+    a.deadline_step = a.origin.deadline_steps > 0
+                          ? rec.submit_step + a.origin.deadline_steps
                           : -1;
     params_.erase(pit);
-    queue_.pop_front();
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+    --scan_end;
     running_.push_back(std::move(a));
     admitted_any = true;
   }
   return admitted_any;
+}
+
+void Scheduler::open_maintenance_locked() {
+  if (step_ >= maintenance_until_) ++metrics_.maintenance_windows;
+  maintenance_until_ =
+      std::max(maintenance_until_, step_ + cfg_.maintenance_window_steps);
+  if (cfg_.maintenance_policy == MaintenancePolicy::kRequeue) {
+    // Drain: give every in-flight request with retry budget back to the
+    // queue; the rest stay and finish on the digital bypass — a window
+    // may degrade or delay a request but never drop one.
+    for (auto it = running_.begin(); it != running_.end();) {
+      if (it->attempt < cfg_.retry.max_attempts) {
+        requeue_locked(*it);
+        it = running_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 bool Scheduler::step() {
@@ -203,10 +349,13 @@ bool Scheduler::step() {
   // therefore safe in both orders: cancel-first retires the request and
   // erases it from running_ before the harvest walks it; finish-first
   // leaves the record terminal, so next step's cancels loop skips it (and
-  // a second cancel of the same id re-checks the state too). The
-  // KvCachePool::release throw on a non-live lease is the backstop
-  // asserting this invariant, and the cancel-at-every-step property test
-  // hammers it.
+  // a second cancel of the same id re-checks the state too). Requeues
+  // (maintenance drain, pool retry) flip the record back to kQueued
+  // under the same lock before the next door check, so a cancel landing
+  // after a requeue takes the queued door and drops the pending params.
+  // The KvCachePool::release throw on a non-live lease is the backstop
+  // asserting this invariant, and the cancel-at-every-step and chaos
+  // racing-cancel tests hammer it.
   for (const std::int64_t id : cancels_) {
     RequestRecord& rec = records_[static_cast<std::size_t>(id)];
     if (rec.state == RequestState::kQueued) {
@@ -228,7 +377,9 @@ bool Scheduler::step() {
     }
   }
   cancels_.clear();
-  // 2. Deadlines (queued and running alike; expiry frees the slab).
+  // 2. Deadlines (queued and running alike; expiry frees the slab). The
+  // deadline is absolute from the original submission, so retried
+  // attempts and maintenance stalls eat into the same budget.
   for (auto it = running_.begin(); it != running_.end();) {
     if (it->deadline_step >= 0 && step_ >= it->deadline_step) {
       retire_locked(*it, RequestState::kExpired);
@@ -256,13 +407,14 @@ bool Scheduler::step() {
       ++qit;
     }
   }
-  // 3. Admission.
+  // 3. Admission (paused while a maintenance window is open).
   admit_locked();
   if (running_.empty()) {
     const bool more = !queue_.empty();
     if (more) {
-      // Starved tick (head-of-line blocked on the pool) still advances
-      // the step clock, so deadlines keep counting down.
+      // Starved tick (head-of-line blocked on the pool, maintenance
+      // window, or retry backoff) still advances the step clock, so
+      // deadlines, backoff timers and the window itself keep counting.
       ++step_;
       ++metrics_.steps;
     }
@@ -273,6 +425,8 @@ bool Scheduler::step() {
   metrics_.occupancy_sum += static_cast<double>(running_.size());
   metrics_.max_occupancy = std::max(
       metrics_.max_occupancy, static_cast<std::int64_t>(running_.size()));
+  const bool degraded_step = in_maintenance_locked();
+  if (degraded_step) ++metrics_.maintenance_steps;
 
   // 4. Build the batch. Per-request state is only read here; the model
   // call below runs without the lock so submit()/cancel() never block on
@@ -288,7 +442,13 @@ bool Scheduler::step() {
   }
   lock.unlock();
   const auto t0 = std::chrono::steady_clock::now();
+  // Inside a maintenance window the analog substrate is off line being
+  // repaired: decode through the non-destructive fp32 bypass instead of
+  // stalling the batch. Only step() flips the bypass, and only around
+  // this call, so the analog deployment is untouched for everyone else.
+  if (degraded_step) model_.set_digital_bypass(true);
   Matrix logits = model_.forward_serve(segments_);
+  if (degraded_step) model_.set_digital_bypass(false);
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -311,6 +471,7 @@ bool Scheduler::step() {
     }
     RequestRecord& rec = records_[static_cast<std::size_t>(a.id)];
     rec.tokens.push_back(best);
+    if (degraded_step) ++rec.degraded_tokens;
     if (cfg_.record_logits) {
       rec.logits.emplace_back(last.begin(), last.end());
     }
@@ -342,18 +503,25 @@ bool Scheduler::step() {
   // and let ABFT statistics gathered from live traffic drive the
   // escalation ladder. Runs between batches, so in-flight requests see
   // a refreshed (or fallen-back) layer only at the next step boundary —
-  // their caches and stream keys are untouched.
+  // their caches and stream keys are untouched. Any action taken opens
+  // (or extends) a maintenance window when the config prices repairs
+  // at maintenance_window_steps > 0.
   if (cfg_.monitor != nullptr && cfg_.inspect_every > 0) {
     dt_accum_s_ += cfg_.step_dt_s;
     if (++busy_since_inspect_ >= cfg_.inspect_every) {
       busy_since_inspect_ = 0;
+      std::int64_t actions = 0;
       if (dt_accum_s_ > 0.0) {
-        metrics_.monitor_actions += cfg_.monitor->advance_to(
+        actions += cfg_.monitor->advance_to(
             cfg_.monitor->now() + static_cast<float>(dt_accum_s_));
         dt_accum_s_ = 0.0;
       }
       ++metrics_.monitor_inspections;
-      metrics_.monitor_actions += cfg_.monitor->inspect();
+      actions += cfg_.monitor->inspect();
+      metrics_.monitor_actions += actions;
+      if (actions > 0 && cfg_.maintenance_window_steps > 0) {
+        open_maintenance_locked();
+      }
     }
   }
   return !running_.empty() || !queue_.empty();
@@ -394,12 +562,43 @@ std::size_t Scheduler::in_flight() const {
   return queue_.size() + running_.size();
 }
 
+bool Scheduler::in_maintenance() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return in_maintenance_locked();
+}
+
 Metrics Scheduler::metrics() const {
   std::lock_guard<std::mutex> lock(m_);
   Metrics m = metrics_;
   m.kv_used_tokens = pool_.used_tokens();
   m.kv_high_water_tokens = pool_.high_water_tokens();
   return m;
+}
+
+AuditSnapshot Scheduler::audit_snapshot() const {
+  std::lock_guard<std::mutex> lock(m_);
+  AuditSnapshot s;
+  s.step = step_;
+  s.in_maintenance = in_maintenance_locked();
+  s.queued = queue_.size();
+  s.running = running_.size();
+  s.states.reserve(records_.size());
+  s.token_counts.reserve(records_.size());
+  s.degraded_counts.reserve(records_.size());
+  for (const RequestRecord& r : records_) {
+    s.states.push_back(r.state);
+    s.token_counts.push_back(static_cast<std::int64_t>(r.tokens.size()));
+    s.degraded_counts.push_back(r.degraded_tokens);
+  }
+  s.metrics = metrics_;
+  s.metrics.kv_used_tokens = pool_.used_tokens();
+  s.metrics.kv_high_water_tokens = pool_.high_water_tokens();
+  s.pool_budget = pool_.budget_tokens();
+  s.pool_used = pool_.used_tokens();
+  s.pool_live = static_cast<std::int64_t>(pool_.live());
+  s.pool_acquires = pool_.total_acquires();
+  s.pool_releases = pool_.total_releases();
+  return s;
 }
 
 }  // namespace nora::serve

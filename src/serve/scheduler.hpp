@@ -10,12 +10,28 @@
 // straight back to the pool, so the batch recomposes continuously
 // instead of draining in static generations.
 //
+// Degraded-mode serving: the analog substrate is allowed to degrade
+// *during* service. When the attached runtime::IntegrityMonitor takes
+// an escalation action (re-read / refresh / digital fallback), the
+// scheduler can open an explicit MAINTENANCE WINDOW instead of
+// pretending the repair was free: admission pauses (queue reason
+// ServeError::kMaintenance), and the in-flight batch either keeps
+// decoding on the non-destructive fp32 digital bypass (tokens tallied
+// per request as degraded_tokens) or is drained and retried later,
+// per MaintenancePolicy. Transient admission failures (KV-pool
+// exhaustion, maintenance) are re-queued under a RetryPolicy with
+// bounded exponential backoff; the jitter comes from a counter-keyed
+// RNG stream, so retry schedules are bit-reproducible.
+//
 // Determinism contract: each request's noise stream is keyed on its own
 // (stream seed, request-local position) — see cim::StreamKey — so its
 // tokens AND logits are bit-identical whether it is served alone,
 // batched with any mix of other requests, or replayed across runs, at
-// any thread-pool width. Scheduling decisions use only the deterministic
-// step counter; wall time feeds metrics exclusively.
+// any thread-pool width. Scheduling decisions (deadlines, backoff,
+// maintenance windows) use only the deterministic step counter; wall
+// time feeds metrics exclusively. Tokens emitted inside a maintenance
+// window come from the digital path and are therefore *flagged*
+// (degraded_tokens) rather than silently passed off as analog output.
 #pragma once
 
 #include <chrono>
@@ -30,16 +46,17 @@
 #include "runtime/integrity_monitor.hpp"
 #include "serve/kv_cache_pool.hpp"
 #include "serve/metrics.hpp"
+#include "serve/serve_error.hpp"
 
 namespace nora::serve {
 
 enum class RequestState {
-  kQueued,     // accepted, waiting for a batch slot / KV slab
+  kQueued,     // accepted, waiting for a batch slot / KV slab / backoff
   kRunning,    // admitted; holds a KV slab, decoding
   kFinished,   // emitted max_new_tokens (or hit its cache capacity)
   kCancelled,  // cancel() before finishing; partial output kept
   kExpired,    // deadline passed before finishing
-  kRejected,   // refused at submit (invalid / queue full / pool policy)
+  kRejected,   // refused (invalid / queue full / pool policy / retry spent)
 };
 
 const char* to_string(RequestState state);
@@ -47,7 +64,11 @@ const char* to_string(RequestState state);
 struct RequestParams {
   std::vector<int> prompt;
   int max_new_tokens = 8;
-  /// Steps after submission by which the request must FINISH; 0 = none.
+  /// Steps after submission by which the request must FINISH. 0 means
+  /// EXPLICITLY "no deadline" (the request may run forever); negative
+  /// values are rejected at submit() with ServeError::kDeadlineNegative.
+  /// The deadline is absolute from the original submission step — it is
+  /// NOT extended by retries or maintenance windows.
   std::int64_t deadline_steps = 0;
   /// Noise-stream key for this request's rows; 0 derives one from the
   /// scheduler seed and the request id. Two requests with the same seed
@@ -66,12 +87,51 @@ struct RequestRecord {
   std::vector<std::vector<float>> logits;
   std::int64_t prompt_tokens = 0;
   std::int64_t submit_step = -1;
-  std::int64_t start_step = -1;        // admission step
+  std::int64_t start_step = -1;        // first admission step
   std::int64_t first_token_step = -1;  // TTFT on the step clock
   std::int64_t finish_step = -1;
   double ttft_s = 0.0;
   double wall_s = 0.0;
-  std::string reject_reason;
+  /// Structured outcome cause; kNone unless rejected. error_detail adds
+  /// the human-readable specifics (counts, budgets) for display.
+  ServeError error = ServeError::kNone;
+  std::string error_detail;
+  /// Attempts scheduled so far (1 = original submission, +1 per retry).
+  int attempts = 1;
+  /// Tokens in `tokens` that were produced on the digital-fallback path
+  /// inside a maintenance window (operators see which outputs were
+  /// degraded). Reset when a retry discards the attempt's output.
+  std::int64_t degraded_tokens = 0;
+};
+
+/// Bounded-exponential-backoff retry for transient conditions
+/// (ServeError::is_transient): KV-pool exhaustion under the reject
+/// policy, and maintenance-window drains under MaintenancePolicy::
+/// kRequeue. Attempt numbering starts at 1 (the original submission);
+/// max_attempts = 1 disables retries entirely.
+struct RetryPolicy {
+  int max_attempts = 1;
+  /// Backoff before attempt k (k >= 2) is
+  ///   min(backoff_base_steps * 2^(k-2), backoff_cap_steps)
+  /// scheduler steps, plus jitter.
+  int backoff_base_steps = 1;
+  int backoff_cap_steps = 64;
+  /// Max extra steps of jitter, drawn uniformly from a counter-keyed
+  /// RNG stream over (scheduler seed, request id, attempt): the same
+  /// submission replays the exact same retry schedule, run after run.
+  int jitter_steps = 0;
+};
+
+/// What happens to the in-flight batch when a maintenance window opens.
+enum class MaintenancePolicy {
+  /// Keep decoding through the non-destructive digital bypass; every
+  /// token emitted inside the window is tallied as degraded.
+  kDigitalFallback,
+  /// Drain: release slabs and re-queue in-flight requests as retries
+  /// (their partial output is discarded to wasted_tokens). Requests
+  /// whose retry budget is already spent stay running on the digital
+  /// bypass instead — a maintenance window never drops a request.
+  kRequeue,
 };
 
 struct SchedulerConfig {
@@ -83,25 +143,59 @@ struct SchedulerConfig {
   /// submissions beyond this are rejected. 0 = unbounded.
   std::size_t queue_capacity = 0;
   /// When the pool cannot hold a request's worst-case footprint at
-  /// admission time: true = reject it outright, false = leave it queued
-  /// until retirements free budget (head-of-line blocking, no overtake —
-  /// FIFO fairness over utilization).
+  /// admission time: true = reject it (or retry it, if the RetryPolicy
+  /// grants attempts), false = leave it queued until retirements free
+  /// budget (head-of-line blocking, no overtake — FIFO fairness over
+  /// utilization). Backoff-delayed retries may always be overtaken:
+  /// they forfeited their queue position when they failed.
   bool reject_on_pool_full = false;
   /// Keep per-token logits rows in RequestRecord (tests only; memory!).
   bool record_logits = false;
-  /// Base seed for derived per-request noise streams.
+  /// Base seed for derived per-request noise streams (and retry jitter).
   std::uint64_t seed = 7102;
+  /// Retry/backoff policy for transient conditions.
+  RetryPolicy retry;
   /// Optional runtime integrity monitor over the (analog) model. The
   /// scheduler calls inspect() every inspect_every busy steps, so ABFT
   /// flags raised by serving traffic trigger the re-read / refresh /
-  /// fallback ladder mid-serve. In-flight requests keep their KV caches
-  /// and stream keys across an action, so decoding continues unharmed.
+  /// fallback ladder mid-serve.
   runtime::IntegrityMonitor* monitor = nullptr;
   /// Virtual seconds of serving time one busy step represents; when > 0
   /// the scheduler advances the monitor's drift clock before inspecting.
   float step_dt_s = 0.0f;
   /// Busy steps between monitor inspections; 0 disables the hook.
   int inspect_every = 0;
+  /// Steps a maintenance window stays open after the monitor takes any
+  /// escalation action (models the wall-clock cost of a re-read /
+  /// reprogram the instantaneous simulation hides). 0 = legacy
+  /// behavior: actions are treated as free and no window opens —
+  /// in-flight requests keep their analog path untouched.
+  int maintenance_window_steps = 0;
+  /// In-flight handling when a window opens (see MaintenancePolicy).
+  MaintenancePolicy maintenance_policy = MaintenancePolicy::kDigitalFallback;
+  /// Reject new submissions arriving inside a maintenance window with
+  /// ServeError::kMaintenance instead of queueing them (load shedding
+  /// for callers that would rather fail fast and retry elsewhere).
+  bool reject_during_maintenance = false;
+};
+
+/// One consistent cross-section of the scheduler for invariant checking
+/// (the chaos Auditor): every per-request state and token tally plus the
+/// pool's conservation counters, captured under a single lock.
+struct AuditSnapshot {
+  std::int64_t step = 0;
+  bool in_maintenance = false;
+  std::size_t queued = 0;   // ids waiting (incl. backoff)
+  std::size_t running = 0;  // ids holding a slab
+  std::vector<RequestState> states;        // indexed by request id
+  std::vector<std::int64_t> token_counts;  // tokens.size() per id
+  std::vector<std::int64_t> degraded_counts;  // degraded_tokens per id
+  Metrics metrics;  // KV fields filled from the pool
+  std::int64_t pool_budget = 0;
+  std::int64_t pool_used = 0;
+  std::int64_t pool_live = 0;
+  std::int64_t pool_acquires = 0;
+  std::int64_t pool_releases = 0;
 };
 
 /// FIFO queue + continuous batcher. All public methods are thread-safe;
@@ -112,9 +206,10 @@ class Scheduler {
   Scheduler(nn::TransformerLM& model, SchedulerConfig cfg = {});
 
   /// Enqueue a request. Always returns a request id; invalid requests
-  /// (empty prompt, non-positive max_new_tokens, prompt that cannot fit
-  /// max_seq, footprint larger than the whole pool, queue full) are
-  /// recorded as kRejected with a reason instead of throwing.
+  /// (empty prompt, non-positive max_new_tokens, negative deadline,
+  /// prompt that cannot fit max_seq, footprint larger than the whole
+  /// pool, queue full) are recorded as kRejected with a structured
+  /// ServeError instead of throwing.
   std::int64_t submit(RequestParams params);
 
   /// Request cancellation; takes effect at the next step() boundary.
@@ -137,9 +232,14 @@ class Scheduler {
   std::int64_t current_step() const;
   /// Running + queued request count.
   std::size_t in_flight() const;
+  /// True while a maintenance window is open (admission paused,
+  /// in-flight decode on the digital bypass).
+  bool in_maintenance() const;
 
   /// Aggregate metrics snapshot (KV pool fields filled from the pool).
   Metrics metrics() const;
+  /// Cheap full cross-section for invariant checking (no logits copies).
+  AuditSnapshot audit_snapshot() const;
 
   const KvCachePool& pool() const { return pool_; }
   const SchedulerConfig& config() const { return cfg_; }
@@ -151,18 +251,31 @@ class Scheduler {
     std::vector<int> pending;      // tokens to feed next step
     int remaining = 0;             // new tokens still to emit
     std::int64_t deadline_step = -1;  // absolute; -1 = none
+    int attempt = 1;               // which attempt this run is
+    RequestParams origin;          // full params, kept for requeue/retry
   };
   /// Accepted-but-not-admitted request payloads (queue_ holds only ids).
   struct Pending {
     std::int64_t id = -1;
     RequestParams params;
+    int attempt = 1;               // 1 = original submission
+    std::int64_t not_before = 0;   // backoff: not admitted before this step
   };
 
   // All helpers below assume m_ is held.
   std::int64_t footprint(const RequestParams& p) const;
   double now_s() const;
+  bool in_maintenance_locked() const { return step_ < maintenance_until_; }
+  /// Backoff (incl. keyed jitter) before the given attempt of `id`.
+  std::int64_t backoff_steps_locked(std::int64_t id, int attempt) const;
+  void reject_locked(RequestRecord& rec, ServeError code, std::string detail);
   void retire_locked(Active& a, RequestState state);
+  /// Release the slab, discard the attempt's output and put the request
+  /// back in the queue with backoff. Caller erases `a` from running_.
+  void requeue_locked(Active& a);
   bool admit_locked();
+  /// Open (or extend) a maintenance window after monitor actions.
+  void open_maintenance_locked();
 
   nn::TransformerLM& model_;
   SchedulerConfig cfg_;
@@ -172,6 +285,7 @@ class Scheduler {
   std::chrono::steady_clock::time_point epoch_;
   std::int64_t next_id_ = 0;
   std::int64_t step_ = 0;
+  std::int64_t maintenance_until_ = 0;  // window open while step_ < this
   std::deque<std::int64_t> queue_;    // ids waiting for admission
   std::vector<Pending> params_;       // payloads of queued requests
   std::vector<Active> running_;       // current batch, admission order

@@ -1,0 +1,41 @@
+#include "serve/serve_error.hpp"
+
+namespace nora::serve {
+
+const char* to_string(ServeError code) {
+  switch (code) {
+    case ServeError::kNone: return "none";
+    case ServeError::kEmptyPrompt: return "empty_prompt";
+    case ServeError::kMaxTokensNonPositive: return "max_tokens_non_positive";
+    case ServeError::kDeadlineNegative: return "deadline_negative";
+    case ServeError::kPromptTooLong: return "prompt_too_long";
+    case ServeError::kFootprintOverBudget: return "footprint_over_budget";
+    case ServeError::kQueueFull: return "queue_full";
+    case ServeError::kPoolExhausted: return "pool_exhausted";
+    case ServeError::kMaintenance: return "maintenance";
+    case ServeError::kRetryBudgetExhausted: return "retry_budget_exhausted";
+    case ServeError::kCount: break;
+  }
+  return "?";
+}
+
+bool is_transient(ServeError code) {
+  switch (code) {
+    case ServeError::kPoolExhausted:
+    case ServeError::kMaintenance:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string describe(ServeError code, const std::string& detail) {
+  std::string s = to_string(code);
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+}  // namespace nora::serve

@@ -1,0 +1,41 @@
+// Structured error taxonomy for the serving layer.
+//
+// Every reject / requeue decision the scheduler makes is tagged with an
+// enum code instead of a free-text string, so operators (and the chaos
+// auditor) can aggregate outcomes by cause, retry policies can key off
+// is_transient(), and tests can assert exact codes instead of matching
+// prose. A human-readable `to_string` plus an optional per-instance
+// detail string keep the display quality of the old free text.
+#pragma once
+
+#include <string>
+
+namespace nora::serve {
+
+enum class ServeError {
+  kNone = 0,              // no error (live or finished normally)
+  kEmptyPrompt,           // submit(): prompt had no tokens
+  kMaxTokensNonPositive,  // submit(): max_new_tokens <= 0
+  kDeadlineNegative,      // submit(): deadline_steps < 0 (0 means "none")
+  kPromptTooLong,         // submit(): prompt leaves no room under max_seq
+  kFootprintOverBudget,   // submit(): worst-case KV footprint > whole pool
+  kQueueFull,             // submit(): bounded queue at capacity
+  kPoolExhausted,         // admission: KV pool cannot hold the request now
+  kMaintenance,           // a maintenance window paused/aborted the attempt
+  kRetryBudgetExhausted,  // transient condition persisted past max_attempts
+  kCount,                 // sentinel: number of codes (array sizing)
+};
+
+/// Stable lower-snake name for dashboards / JSON keys ("pool_exhausted").
+const char* to_string(ServeError code);
+
+/// Transient conditions are retryable under the RetryPolicy: the request
+/// itself is fine, the substrate is momentarily unable to take it.
+/// Permanent codes describe an invalid request and never retry.
+bool is_transient(ServeError code);
+
+/// Display helper: "pool_exhausted: KV footprint 24 > 10 free" when a
+/// detail is present, bare code name otherwise.
+std::string describe(ServeError code, const std::string& detail);
+
+}  // namespace nora::serve

@@ -440,5 +440,22 @@ TEST(RefreshPolicy, RoundTripsThroughStrings) {
                std::invalid_argument);
 }
 
+TEST(RefreshPolicy, ParsingIsCaseInsensitive) {
+  // CLI flags and config files arrive in every capitalization.
+  EXPECT_EQ(runtime::refresh_policy_from_string("Watchdog"),
+            runtime::RefreshPolicy::kWatchdog);
+  EXPECT_EQ(runtime::refresh_policy_from_string("PERIODIC"),
+            runtime::RefreshPolicy::kPeriodic);
+  EXPECT_EQ(runtime::refresh_policy_from_string("NeVeR"),
+            runtime::RefreshPolicy::kNever);
+  // Unknown names still throw, echoing the original spelling.
+  try {
+    runtime::refresh_policy_from_string("SomeTimes");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("SomeTimes"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace nora

@@ -215,14 +215,51 @@ TEST(Scheduler, RejectsInvalidRequestsAtSubmit) {
   fat.prompt = {1, 2, 3, 4, 5};
   fat.max_new_tokens = 20;  // footprint 24 > budget 10
   const auto toofat = sched.submit(std::move(fat));
-  for (const auto id : {empty, none, toolong, toofat}) {
-    EXPECT_EQ(sched.request(id).state, RequestState::kRejected);
-    EXPECT_FALSE(sched.request(id).reject_reason.empty());
+  // Every reject carries its structured cause, not just prose.
+  const struct {
+    std::int64_t id;
+    ServeError code;
+  } expected[] = {{empty, ServeError::kEmptyPrompt},
+                  {none, ServeError::kMaxTokensNonPositive},
+                  {toolong, ServeError::kPromptTooLong},
+                  {toofat, ServeError::kFootprintOverBudget}};
+  for (const auto& e : expected) {
+    EXPECT_EQ(sched.request(e.id).state, RequestState::kRejected);
+    EXPECT_EQ(sched.request(e.id).error, e.code);
+    EXPECT_FALSE(is_transient(e.code));
   }
   EXPECT_EQ(sched.in_flight(), 0u);
   EXPECT_FALSE(sched.step());
   EXPECT_EQ(sched.metrics().rejected, 4);
+  EXPECT_EQ(sched.metrics().rejected_with(ServeError::kEmptyPrompt), 1);
+  EXPECT_EQ(sched.metrics().rejected_with(ServeError::kFootprintOverBudget),
+            1);
   EXPECT_THROW(sched.request(999), std::out_of_range);
+}
+
+TEST(Scheduler, NegativeDeadlineRejectedZeroMeansNoDeadline) {
+  // deadline_steps semantics: 0 is EXPLICITLY "no deadline" — such a
+  // request must run to completion, not expire instantly; negative
+  // values are a caller bug and are rejected with a structured code.
+  nn::TransformerLM model(tiny_arch());
+  Scheduler sched(model);
+  RequestParams neg;
+  neg.prompt = {1, 2, 3};
+  neg.max_new_tokens = 4;
+  neg.deadline_steps = -1;
+  const auto bad = sched.submit(std::move(neg));
+  EXPECT_EQ(sched.request(bad).state, RequestState::kRejected);
+  EXPECT_EQ(sched.request(bad).error, ServeError::kDeadlineNegative);
+  EXPECT_NE(sched.request(bad).error_detail.find("-1"), std::string::npos);
+  RequestParams none;
+  none.prompt = {1, 2, 3};
+  none.max_new_tokens = 4;
+  none.deadline_steps = 0;
+  const auto ok = sched.submit(std::move(none));
+  sched.run_until_idle();
+  EXPECT_EQ(sched.request(ok).state, RequestState::kFinished);
+  EXPECT_EQ(sched.request(ok).tokens.size(), 4u);
+  EXPECT_EQ(sched.request(ok).error, ServeError::kNone);
 }
 
 TEST(Scheduler, CancelMidDecodeFreesSlabAndKeepsPartialOutput) {
@@ -289,7 +326,8 @@ TEST(Scheduler, PoolExhaustionRejectsWhenConfigured) {
   sched.step();
   EXPECT_EQ(sched.request(a).state, RequestState::kRunning);
   EXPECT_EQ(sched.request(b).state, RequestState::kRejected);
-  EXPECT_EQ(sched.request(b).reject_reason, "KV pool full");
+  EXPECT_EQ(sched.request(b).error, ServeError::kPoolExhausted);
+  EXPECT_TRUE(is_transient(sched.request(b).error));
   sched.run_until_idle();
   EXPECT_EQ(sched.request(a).state, RequestState::kFinished);
 }
@@ -306,7 +344,7 @@ TEST(Scheduler, QueueCapacityRejectsOverflow) {
   sched.submit(RequestParams(p));
   const auto c = sched.submit(RequestParams(p));
   EXPECT_EQ(sched.request(c).state, RequestState::kRejected);
-  EXPECT_EQ(sched.request(c).reject_reason, "queue full");
+  EXPECT_EQ(sched.request(c).error, ServeError::kQueueFull);
 }
 
 TEST(Scheduler, DeadlineExpiryWhileQueuedAndWhileRunning) {
@@ -362,6 +400,338 @@ TEST(Scheduler, BudgetNeverExceededUnderLoad) {
   EXPECT_GT(m.generated_tokens, 0);
   // Every record is terminal and consistent.
   EXPECT_EQ(sched.completed().size(), 7u);
+}
+
+// --- retry / backoff --------------------------------------------------
+
+TEST(Scheduler, PoolExhaustionRetriesWithBackoffThenFinishes) {
+  // reject_on_pool_full + a RetryPolicy: the blocked request is NOT
+  // rejected; it backs off, retries, and finishes once the hog retires.
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.kv_budget_tokens = 8;
+  cfg.reject_on_pool_full = true;
+  cfg.retry.max_attempts = 8;
+  cfg.retry.backoff_base_steps = 1;
+  cfg.retry.jitter_steps = 2;
+  Scheduler sched(model, cfg);
+  RequestParams p;
+  p.prompt = {1, 2, 3, 4};
+  p.max_new_tokens = 5;  // footprint 8 == whole budget
+  const auto a = sched.submit(RequestParams(p));
+  const auto b = sched.submit(RequestParams(p));
+  sched.run_until_idle();
+  EXPECT_EQ(sched.request(a).state, RequestState::kFinished);
+  const auto rb = sched.request(b);
+  EXPECT_EQ(rb.state, RequestState::kFinished);
+  EXPECT_GT(rb.attempts, 1);
+  EXPECT_EQ(rb.tokens, sched.request(a).tokens);  // digital, same prompt
+  const Metrics m = sched.metrics();
+  EXPECT_GT(m.retries, 0);
+  EXPECT_EQ(m.rejected, 0);
+  EXPECT_EQ(sched.pool().total_acquires(), sched.pool().total_releases());
+}
+
+TEST(Scheduler, RetryBudgetExhaustedRejectsWithStructuredCode) {
+  // A hog that outlives every retry: the contender must end rejected
+  // with kRetryBudgetExhausted (not the bare kPoolExhausted), after
+  // exactly max_attempts scheduling attempts.
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.kv_budget_tokens = 28;
+  cfg.reject_on_pool_full = true;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_base_steps = 1;
+  cfg.retry.backoff_cap_steps = 2;  // retries land while the hog still runs
+  Scheduler sched(model, cfg);
+  RequestParams hog;
+  hog.prompt = {1, 2, 3, 4};
+  hog.max_new_tokens = 25;  // footprint 28: the whole pool, for 25 steps
+  const auto a = sched.submit(std::move(hog));
+  RequestParams contender;
+  contender.prompt = {5, 6, 7, 8};
+  contender.max_new_tokens = 5;
+  const auto b = sched.submit(std::move(contender));
+  sched.run_until_idle();
+  EXPECT_EQ(sched.request(a).state, RequestState::kFinished);
+  const auto rb = sched.request(b);
+  EXPECT_EQ(rb.state, RequestState::kRejected);
+  EXPECT_EQ(rb.error, ServeError::kRetryBudgetExhausted);
+  EXPECT_EQ(rb.attempts, 3);
+  EXPECT_EQ(sched.metrics().retries, 2);  // attempts 2 and 3
+  EXPECT_EQ(sched.metrics().rejected_with(ServeError::kRetryBudgetExhausted),
+            1);
+}
+
+TEST(Scheduler, RetryScheduleIsBitReproducible) {
+  // Same seed, same workload -> identical attempt counts and identical
+  // step-clock history, jitter included (it is drawn from a
+  // counter-keyed stream, not a shared RNG).
+  auto run = [] {
+    nn::TransformerLM model(tiny_arch());
+    SchedulerConfig cfg;
+    cfg.seed = 4242;
+    cfg.kv_budget_tokens = 8;
+    cfg.reject_on_pool_full = true;
+    cfg.retry.max_attempts = 6;
+    cfg.retry.backoff_base_steps = 1;
+    cfg.retry.jitter_steps = 3;
+    Scheduler sched(model, cfg);
+    RequestParams p;
+    p.prompt = {1, 2, 3, 4};
+    p.max_new_tokens = 5;
+    std::vector<std::int64_t> ids;
+    for (int i = 0; i < 3; ++i) ids.push_back(sched.submit(RequestParams(p)));
+    sched.run_until_idle();
+    std::vector<std::int64_t> history;
+    for (const auto id : ids) {
+      const auto rec = sched.request(id);
+      history.push_back(rec.attempts);
+      history.push_back(rec.start_step);
+      history.push_back(rec.finish_step);
+      history.push_back(static_cast<std::int64_t>(rec.state));
+    }
+    return history;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- KV pool exhaustion / recovery property ---------------------------
+
+TEST(KvCachePool, ExhaustionRecoveryLeaksNothing) {
+  // Property: fill the pool to its budget, retire/cancel the leases in
+  // an arbitrary mix, and the pool must re-admit new work with zero
+  // leaked slabs and stable high-water accounting.
+  KvCachePool pool(/*budget_tokens=*/24, /*bytes_per_token=*/4);
+  std::vector<nn::KvCache*> leases;
+  for (int i = 0; i < 4; ++i) {
+    nn::KvCache* c = pool.acquire(6);
+    ASSERT_NE(c, nullptr);
+    leases.push_back(c);
+  }
+  EXPECT_EQ(pool.used_tokens(), 24);
+  EXPECT_EQ(pool.acquire(1), nullptr);  // budget exhausted
+  EXPECT_EQ(pool.high_water_tokens(), 24);
+  // Release a mix (reverse order: exercises non-LIFO slab reuse).
+  pool.release(leases[3]);
+  pool.release(leases[0]);
+  EXPECT_EQ(pool.used_tokens(), 12);
+  // Re-admission succeeds and recycles the freed slabs.
+  nn::KvCache* again = pool.acquire(12);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(pool.used_tokens(), 24);
+  EXPECT_EQ(pool.high_water_tokens(), 24);  // never above budget
+  pool.release(again);
+  pool.release(leases[1]);
+  pool.release(leases[2]);
+  EXPECT_EQ(pool.used_tokens(), 0);
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.total_acquires(), 5);
+  EXPECT_EQ(pool.total_releases(), 5);
+  // Double release of a retired lease is a hard error, not a leak.
+  EXPECT_THROW(pool.release(leases[0]), std::invalid_argument);
+}
+
+TEST(Scheduler, PoolRecoveryAfterExhaustionUnderServing) {
+  // End-to-end version of the property above: saturate the scheduler's
+  // pool, cancel half the load mid-decode, and verify the freed budget
+  // re-admits the rest — with the acquire/release ledger balanced.
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.max_batch = 6;
+  cfg.kv_budget_tokens = 16;  // two {4+5-1=8}-token footprints
+  Scheduler sched(model, cfg);
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    RequestParams p;
+    p.prompt = {1 + i, 2, 3, 4};
+    p.max_new_tokens = 5;
+    ids.push_back(sched.submit(std::move(p)));
+  }
+  sched.step();  // admits exactly two
+  EXPECT_EQ(sched.pool().used_tokens(), 16);
+  sched.cancel(ids[0]);
+  sched.cancel(ids[1]);
+  sched.run_until_idle();
+  for (std::size_t i = 2; i < ids.size(); ++i) {
+    EXPECT_EQ(sched.request(ids[i]).state, RequestState::kFinished) << i;
+  }
+  EXPECT_EQ(sched.pool().used_tokens(), 0);
+  EXPECT_EQ(sched.pool().live(), 0u);
+  EXPECT_EQ(sched.pool().total_acquires(), sched.pool().total_releases());
+  EXPECT_EQ(sched.pool().high_water_tokens(), 16);
+}
+
+// --- maintenance windows ----------------------------------------------
+
+/// Watchdog monitor that takes an action at every inspection — the
+/// deterministic trigger for maintenance windows.
+runtime::MonitorConfig trigger_happy() {
+  runtime::MonitorConfig mcfg;
+  mcfg.policy = runtime::RefreshPolicy::kWatchdog;
+  mcfg.flag_rate_budget = -1.0;           // every window is "over budget"
+  mcfg.fallback_after_refreshes = 100000;  // never drop to digital
+  return mcfg;
+}
+
+TEST(ServeMaintenance, WindowServesDegradedAndDropsNoRequest) {
+  // The acceptance property: a maintenance window opening mid-serve
+  // never deadlocks and never drops a request — in-flight requests
+  // finish via the digital bypass with their degraded tokens recorded,
+  // queued requests are admitted after the window closes.
+  util::ThreadPool::global().resize(1);
+  cim::TileConfig tile = cim::TileConfig::ideal();
+  tile.abft_checksum = true;
+  nn::TransformerLM model = make_analog_model(tile);
+  runtime::IntegrityMonitor monitor(model, /*deploy_seed=*/4040,
+                                    trigger_happy());
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.monitor = &monitor;
+  cfg.inspect_every = 1;
+  cfg.maintenance_window_steps = 3;
+  Scheduler sched(model, cfg);
+  std::vector<std::int64_t> ids;
+  for (const Job& j : kJobs) {  // 4 jobs > max_batch: queue is exercised
+    RequestParams p;
+    p.prompt = j.prompt;
+    p.max_new_tokens = j.max_new;
+    p.stream_seed = j.stream;
+    ids.push_back(sched.submit(std::move(p)));
+  }
+  // Bounded loop instead of run_until_idle: a deadlock fails the test
+  // rather than hanging it.
+  bool saw_window = false;
+  int guard = 0;
+  while (sched.step()) {
+    saw_window |= sched.in_maintenance();
+    ASSERT_LT(++guard, 2000) << "maintenance window deadlocked the loop";
+  }
+  EXPECT_TRUE(saw_window);
+  std::int64_t total_degraded = 0;
+  for (const auto id : ids) {
+    const auto rec = sched.request(id);
+    EXPECT_EQ(rec.state, RequestState::kFinished) << "request " << id;
+    EXPECT_EQ(rec.tokens.size(), 6u);
+    total_degraded += rec.degraded_tokens;
+    EXPECT_LE(rec.degraded_tokens,
+              static_cast<std::int64_t>(rec.tokens.size()));
+  }
+  const Metrics m = sched.metrics();
+  EXPECT_GT(m.maintenance_windows, 0);
+  EXPECT_GT(m.maintenance_steps, 0);
+  EXPECT_GT(total_degraded, 0);  // the window really served degraded
+  EXPECT_EQ(m.degraded_tokens, total_degraded);
+  EXPECT_TRUE(model.is_analog());  // bypass was non-destructive
+  for (auto* lin : model.linear_layers()) {
+    EXPECT_FALSE(lin->digital_bypass());  // and switched back off
+  }
+  EXPECT_EQ(sched.pool().total_acquires(), sched.pool().total_releases());
+}
+
+TEST(ServeMaintenance, RequeuePolicyDrainsAndRetriesWithoutDropping) {
+  // kRequeue: requests with retry budget are drained back to the queue
+  // when a window opens (their partial output discarded to
+  // wasted_tokens); once the budget is spent they finish on the bypass.
+  // Either way every request terminates kFinished.
+  util::ThreadPool::global().resize(1);
+  cim::TileConfig tile = cim::TileConfig::ideal();
+  tile.abft_checksum = true;
+  nn::TransformerLM model = make_analog_model(tile);
+  runtime::IntegrityMonitor monitor(model, /*deploy_seed=*/4041,
+                                    trigger_happy());
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.monitor = &monitor;
+  cfg.inspect_every = 1;
+  cfg.maintenance_window_steps = 2;
+  cfg.maintenance_policy = MaintenancePolicy::kRequeue;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_base_steps = 1;
+  Scheduler sched(model, cfg);
+  std::vector<std::int64_t> ids;
+  for (const Job& j : kJobs) {
+    RequestParams p;
+    p.prompt = j.prompt;
+    p.max_new_tokens = j.max_new;
+    p.stream_seed = j.stream;
+    ids.push_back(sched.submit(std::move(p)));
+  }
+  int guard = 0;
+  while (sched.step()) {
+    ASSERT_LT(++guard, 4000) << "requeue policy deadlocked the loop";
+  }
+  bool saw_retry = false;
+  for (const auto id : ids) {
+    const auto rec = sched.request(id);
+    EXPECT_EQ(rec.state, RequestState::kFinished) << "request " << id;
+    EXPECT_EQ(rec.tokens.size(), 6u);
+    saw_retry |= rec.attempts > 1;
+  }
+  EXPECT_TRUE(saw_retry);
+  const Metrics m = sched.metrics();
+  EXPECT_GT(m.retries, 0);
+  EXPECT_GT(m.wasted_tokens, 0);
+  EXPECT_EQ(m.rejected, 0);  // drained, retried — never dropped
+  EXPECT_EQ(sched.pool().total_acquires(), sched.pool().total_releases());
+}
+
+TEST(ServeMaintenance, RejectDuringMaintenanceShedsLoad) {
+  util::ThreadPool::global().resize(1);
+  cim::TileConfig tile = cim::TileConfig::ideal();
+  tile.abft_checksum = true;
+  nn::TransformerLM model = make_analog_model(tile);
+  runtime::IntegrityMonitor monitor(model, /*deploy_seed=*/4042,
+                                    trigger_happy());
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.monitor = &monitor;
+  cfg.inspect_every = 1;
+  cfg.maintenance_window_steps = 4;
+  cfg.reject_during_maintenance = true;
+  Scheduler sched(model, cfg);
+  RequestParams p;
+  p.prompt = {3, 1, 4};
+  p.max_new_tokens = 6;
+  sched.submit(RequestParams(p));
+  sched.step();  // busy step -> monitor action -> window opens
+  ASSERT_TRUE(sched.in_maintenance());
+  const auto shed = sched.submit(RequestParams(p));
+  EXPECT_EQ(sched.request(shed).state, RequestState::kRejected);
+  EXPECT_EQ(sched.request(shed).error, ServeError::kMaintenance);
+  sched.run_until_idle();
+  EXPECT_EQ(sched.metrics().rejected_with(ServeError::kMaintenance), 1);
+}
+
+TEST(ServeMaintenance, ZeroWindowKeepsLegacyBitIdenticalBehavior) {
+  // maintenance_window_steps = 0 (the default) must reproduce the
+  // pre-maintenance scheduler exactly: monitor actions are free, no
+  // window opens, nothing is flagged degraded. This is what keeps the
+  // existing serve goldens valid.
+  util::ThreadPool::global().resize(1);
+  cim::TileConfig tile = cim::TileConfig::ideal();
+  tile.abft_checksum = true;
+  nn::TransformerLM model = make_analog_model(tile);
+  runtime::IntegrityMonitor monitor(model, /*deploy_seed=*/4043,
+                                    trigger_happy());
+  SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.monitor = &monitor;
+  cfg.inspect_every = 1;
+  Scheduler sched(model, cfg);
+  RequestParams p;
+  p.prompt = {3, 1, 4};
+  p.max_new_tokens = 6;
+  const auto id = sched.submit(std::move(p));
+  bool ever_maintenance = false;
+  while (sched.step()) ever_maintenance |= sched.in_maintenance();
+  EXPECT_FALSE(ever_maintenance);
+  const Metrics m = sched.metrics();
+  EXPECT_GT(m.monitor_actions, 0);
+  EXPECT_EQ(m.maintenance_windows, 0);
+  EXPECT_EQ(m.maintenance_steps, 0);
+  EXPECT_EQ(m.degraded_tokens, 0);
+  EXPECT_EQ(sched.request(id).degraded_tokens, 0);
 }
 
 // --- integrity-monitor interaction -----------------------------------

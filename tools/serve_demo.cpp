@@ -60,18 +60,22 @@ int main(int argc, char** argv) {
   }
 
   util::Table table({"id", "state", "queued@", "started@", "finished@",
-                     "tokens", "first ids"});
+                     "tokens", "first ids", "error"});
   for (const auto id : ids) {
     const serve::RequestRecord r = sched.request(id);
     std::string head;
     for (std::size_t t = 0; t < r.tokens.size() && t < 5; ++t) {
       head += std::to_string(r.tokens[t]) + " ";
     }
+    // Structured outcome: the enum name plus its detail, "-" when clean.
+    const std::string err = r.error == serve::ServeError::kNone
+                                ? "-"
+                                : serve::describe(r.error, r.error_detail);
     table.add_row({std::to_string(r.id), serve::to_string(r.state),
                    std::to_string(r.submit_step),
                    std::to_string(r.start_step),
                    std::to_string(r.finish_step),
-                   std::to_string(r.tokens.size()), head});
+                   std::to_string(r.tokens.size()), head, err});
   }
   table.print();
   std::printf("\n%s", sched.metrics().to_string().c_str());
