@@ -1,0 +1,538 @@
+// Open-loop load generator for the HTTP serving front end.
+//
+// Drives nora_serve-style serving with thousands of concurrent client
+// sockets from a single-threaded nonblocking event loop (the same
+// net::Poller the server uses), and measures the latency/goodput curve
+// as offered load rises:
+//
+//   1. burst phase — open --conns connections as fast as possible, all
+//      streaming completions at once; every one must reach a terminal
+//      outcome (stream finished, or a clean 4xx/5xx rejection), with
+//      zero resets and zero stuck sockets;
+//   2. rate sweep — open-loop Poisson arrivals at each rate in --rates;
+//      arrivals never wait for completions (closed-loop generators hide
+//      overload), so queueing shows up in TTFT/TPOT, and shedding shows
+//      up as 429/503 counts, exactly like production;
+//   3. drain phase — SIGTERM mid-stream: in-flight streams must finish,
+//      the server must exit 0, and afterwards the scheduler must hold
+//      zero KV slabs and the process zero leaked fds.
+//
+// Default is a self-contained in-process server over the tiny model
+// (CI-able, leak-checkable); --port drives an external server instead
+// (phases 1-2 only). Results go to --out as a JSON latency-under-load
+// curve.
+//
+//   ./serve_load [--conns=1000] [--rates=100,300,1000] [--duration=3]
+//                [--smoke] [--port=0] [--seed=1] [--out=serve_load.json]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <dirent.h>
+#include <numeric>
+#include <random>
+#include <string>
+#include <sys/resource.h>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cim/tile_config.hpp"
+#include "net/poller.hpp"
+#include "net/server.hpp"
+#include "net/signals.hpp"
+#include "net/transport.hpp"
+#include "nn/transformer.hpp"
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nora;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int count_open_fds() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return -1;
+  int n = 0;
+  while (::readdir(d) != nullptr) ++n;
+  ::closedir(d);
+  return n - 3;  // ".", "..", and the dirfd itself
+}
+
+void raise_nofile_limit(rlim_t want) {
+  struct rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur >= want) return;
+  rl.rlim_cur = std::min<rlim_t>(want, rl.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+nn::TransformerLM make_tiny() {
+  nn::TransformerConfig arch;
+  arch.vocab_size = 30;
+  arch.d_model = 24;
+  arch.n_layers = 2;
+  arch.n_heads = 3;
+  arch.d_ff = 48;
+  arch.max_seq = 64;
+  arch.seed = 77;
+  nn::TransformerLM model(arch);
+  cim::TileConfig tiles = cim::TileConfig::paper_table2();
+  tiles.tile_rows = 16;
+  tiles.tile_cols = 12;
+  tiles.in_noise = 0.02f;
+  tiles.abft_checksum = true;
+  tiles.n_threads = 1;
+  std::uint64_t seed = 900;
+  for (auto* lin : model.linear_layers()) {
+    lin->to_analog(tiles, {}, seed++);
+  }
+  return model;
+}
+
+std::string completion_request(std::mt19937_64& rng, int max_new,
+                               bool stream) {
+  std::uniform_int_distribution<int> tok(0, 29);
+  std::uniform_int_distribution<int> len(2, 6);
+  std::string body = "{\"prompt\":[";
+  const int n = len(rng);
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) body += ",";
+    body += std::to_string(tok(rng));
+  }
+  body += "],\"max_new_tokens\":" + std::to_string(max_new) +
+          ",\"stream\":" + (stream ? "true" : "false") + "}";
+  return "POST /v1/completions HTTP/1.1\r\nHost: bench\r\n"
+         "Connection: close\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// ---------------------------------------------------------------------
+// Client-side event loop
+// ---------------------------------------------------------------------
+
+struct ClientConn {
+  std::unique_ptr<net::TcpTransport> t;
+  std::string out;
+  std::size_t off = 0;
+  std::string in;
+  std::size_t scan = 0;  // resume point for the token-chunk scanner
+  double t_start = 0.0;
+  double t_ttft = -1.0;
+  double t_prev_tok = -1.0;
+  double tpot_sum = 0.0;
+  int tpot_n = 0;
+  int tokens = 0;
+  bool sent_all = false;
+  bool done = false;
+  bool failed = false;
+};
+
+struct PhaseStats {
+  std::int64_t launched = 0;
+  std::int64_t connect_failed = 0;
+  std::int64_t completed = 0;   // 2xx with a finished stream / full body
+  std::int64_t rejected = 0;    // clean 4xx/5xx (backpressure working)
+  std::int64_t failed = 0;      // reset / garbled / no response
+  std::int64_t stuck = 0;       // no terminal outcome by the deadline
+  std::int64_t tokens = 0;
+  std::vector<double> ttft_s;
+  std::vector<double> tpot_s;
+  double wall_s = 0.0;
+
+  bool all_terminal() const {
+    return stuck == 0 && failed == 0 && connect_failed == 0;
+  }
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+class LoadGen {
+ public:
+  explicit LoadGen(int port) : port_(port) {}
+
+  void launch(const std::string& request) {
+    ++stats_.launched;
+    auto t = net::TcpTransport::connect_local(port_);
+    if (t == nullptr) {
+      ++stats_.connect_failed;
+      return;
+    }
+    auto c = std::make_unique<ClientConn>();
+    c->t = std::move(t);
+    c->out = request;
+    c->t_start = now_s();
+    const std::uint64_t key = next_key_++;
+    poller_.add(c->t->fd(), key, /*want_read=*/true, /*want_write=*/true);
+    conns_.emplace(key, std::move(c));
+  }
+
+  std::size_t open_count() const { return conns_.size(); }
+
+  void poll_once(int timeout_ms) {
+    events_.clear();
+    poller_.wait(events_, timeout_ms);
+    const double now = now_s();
+    for (const auto& ev : events_) {
+      auto it = conns_.find(ev.key);
+      if (it == conns_.end()) continue;
+      ClientConn& c = *it->second;
+      if (ev.writable && !c.sent_all) on_writable(ev.key, c);
+      if (ev.readable && !c.done && !c.failed) on_readable(c, now);
+      if (ev.error && !ev.readable && !c.done) c.failed = true;
+      if (c.done || c.failed) finish(it);
+    }
+  }
+
+  /// Drive until every connection is terminal or `deadline_s` passes.
+  void drain(double deadline_s) {
+    while (!conns_.empty() && now_s() < deadline_s) poll_once(20);
+    stats_.stuck += static_cast<std::int64_t>(conns_.size());
+    for (auto& [key, c] : conns_) {
+      poller_.remove(c->t->fd());
+      c->t->close();
+    }
+    conns_.clear();
+  }
+
+  PhaseStats take_stats() {
+    PhaseStats out = std::move(stats_);
+    stats_ = PhaseStats{};
+    return out;
+  }
+
+ private:
+  void on_writable(std::uint64_t key, ClientConn& c) {
+    while (c.off < c.out.size()) {
+      const std::ptrdiff_t w =
+          c.t->write(c.out.data() + c.off, c.out.size() - c.off);
+      if (w > 0) {
+        c.off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w == net::Transport::kAgain) return;
+      c.failed = true;  // connect refused / reset
+      return;
+    }
+    c.sent_all = true;
+    poller_.modify(c.t->fd(), key, /*want_read=*/true, /*want_write=*/false);
+  }
+
+  void on_readable(ClientConn& c, double now) {
+    char buf[4096];
+    while (true) {
+      const std::ptrdiff_t r = c.t->read(buf, sizeof(buf));
+      if (r > 0) {
+        c.in.append(buf, static_cast<std::size_t>(r));
+        scan_tokens(c, now);
+        continue;
+      }
+      if (r == net::Transport::kAgain) return;
+      if (r == net::Transport::kEof) {
+        c.done = true;
+      } else {
+        c.failed = true;
+      }
+      return;
+    }
+  }
+
+  void scan_tokens(ClientConn& c, double now) {
+    static const std::string needle = "{\"token\":";
+    for (std::size_t pos = c.in.find(needle, c.scan);
+         pos != std::string::npos; pos = c.in.find(needle, pos + 1)) {
+      ++c.tokens;
+      if (c.t_ttft < 0) {
+        c.t_ttft = now - c.t_start;
+      } else {
+        c.tpot_sum += now - c.t_prev_tok;
+        ++c.tpot_n;
+      }
+      c.t_prev_tok = now;
+      c.scan = pos + 1;
+    }
+    // Keep one needle of overlap so a chunk split mid-marker still scans.
+    if (c.in.size() > needle.size()) {
+      c.scan = std::max(c.scan, c.in.size() - needle.size());
+    }
+  }
+
+  void finish(
+      std::unordered_map<std::uint64_t,
+                         std::unique_ptr<ClientConn>>::iterator it) {
+    ClientConn& c = *it->second;
+    if (c.done) {
+      const bool ok2xx = c.in.rfind("HTTP/1.1 2", 0) == 0;
+      const bool reject = c.in.rfind("HTTP/1.1 4", 0) == 0 ||
+                          c.in.rfind("HTTP/1.1 5", 0) == 0;
+      const bool finished_stream =
+          c.in.find("\"done\":true") != std::string::npos;
+      const bool unary_body =
+          c.in.find("\"tokens\":[") != std::string::npos;
+      if (ok2xx && (finished_stream || unary_body)) {
+        ++stats_.completed;
+        stats_.tokens += c.tokens;
+        if (c.t_ttft >= 0) stats_.ttft_s.push_back(c.t_ttft);
+        if (c.tpot_n > 0) {
+          stats_.tpot_s.push_back(c.tpot_sum /
+                                  static_cast<double>(c.tpot_n));
+        }
+      } else if (reject) {
+        ++stats_.rejected;
+      } else {
+        ++stats_.failed;  // EOF without a recognizable response
+      }
+    } else {
+      ++stats_.failed;
+    }
+    poller_.remove(c.t->fd());
+    c.t->close();
+    conns_.erase(it);
+  }
+
+  int port_;
+  net::Poller poller_{/*force_poll=*/false};
+  std::unordered_map<std::uint64_t, std::unique_ptr<ClientConn>> conns_;
+  std::vector<net::Poller::Event> events_;
+  std::uint64_t next_key_ = 1;
+  PhaseStats stats_;
+};
+
+std::string phase_json(const char* name, double rate,
+                       const PhaseStats& s) {
+  char buf[512];
+  const double goodput =
+      s.wall_s > 0 ? static_cast<double>(s.tokens) / s.wall_s : 0.0;
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"phase\":\"%s\",\"rate_rps\":%g,\"launched\":%lld,"
+      "\"completed\":%lld,\"rejected\":%lld,\"failed\":%lld,"
+      "\"stuck\":%lld,\"connect_failed\":%lld,\"tokens\":%lld,"
+      "\"wall_s\":%.3f,\"goodput_tok_s\":%.1f,\"ttft_p50_ms\":%.2f,"
+      "\"ttft_p95_ms\":%.2f,\"tpot_mean_ms\":%.2f}",
+      name, rate, static_cast<long long>(s.launched),
+      static_cast<long long>(s.completed),
+      static_cast<long long>(s.rejected), static_cast<long long>(s.failed),
+      static_cast<long long>(s.stuck),
+      static_cast<long long>(s.connect_failed),
+      static_cast<long long>(s.tokens), s.wall_s, goodput,
+      1e3 * percentile(s.ttft_s, 0.50), 1e3 * percentile(s.ttft_s, 0.95),
+      s.tpot_s.empty()
+          ? 0.0
+          : 1e3 *
+                (std::accumulate(s.tpot_s.begin(), s.tpot_s.end(), 0.0) /
+                 static_cast<double>(s.tpot_s.size())));
+  return buf;
+}
+
+void print_phase(const char* name, const PhaseStats& s) {
+  std::printf("%-10s launched %5lld  completed %5lld  rejected %4lld  "
+              "failed %3lld  stuck %3lld  ttft p50/p95 %.1f/%.1f ms  "
+              "goodput %.0f tok/s\n",
+              name, static_cast<long long>(s.launched),
+              static_cast<long long>(s.completed),
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.failed),
+              static_cast<long long>(s.stuck),
+              1e3 * percentile(s.ttft_s, 0.50),
+              1e3 * percentile(s.ttft_s, 0.95),
+              s.wall_s > 0 ? static_cast<double>(s.tokens) / s.wall_s : 0.0);
+}
+
+std::vector<double> parse_rates(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string part =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!part.empty()) out.push_back(std::stod(part));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool smoke = cli.get_flag("smoke");
+  const int conns = static_cast<int>(cli.get_int("conns", smoke ? 200 : 1000));
+  const double duration = static_cast<double>(
+      cli.get_double("duration", smoke ? 1.5 : 3.0));
+  const std::vector<double> rates =
+      parse_rates(cli.get("rates", smoke ? "200" : "100,300,1000"));
+  const int ext_port = static_cast<int>(cli.get_int("port", 0));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string out_path = cli.get("out", "serve_load.json");
+  cli.check_unknown();
+
+  util::ThreadPool::global().resize(1);
+  raise_nofile_limit(static_cast<rlim_t>(conns) * 2 + 512);
+  net::install_signal_handlers();
+
+  // ---- server (in-process unless --port points elsewhere) ------------
+  const bool in_process = ext_port == 0;
+  std::unique_ptr<nn::TransformerLM> model;
+  std::unique_ptr<serve::Scheduler> sched;
+  std::unique_ptr<net::HttpServer> server;
+  std::thread server_thread;
+  std::atomic<int> server_rc{-1};
+  int port = ext_port;
+  if (in_process) {
+    model = std::make_unique<nn::TransformerLM>(make_tiny());
+    serve::SchedulerConfig scfg;
+    scfg.max_batch = 16;
+    scfg.kv_budget_tokens = 2048;
+    scfg.queue_capacity = 4096;
+    scfg.reject_on_pool_full = true;
+    scfg.record_events = true;
+    sched = std::make_unique<serve::Scheduler>(*model, scfg);
+    net::ServerConfig ncfg;
+    // The open-loop sweep can hold ~2x the burst width in flight; size
+    // the cap so the latency curve measures queueing, not shedding.
+    ncfg.max_connections = conns * 2 + 64;
+    ncfg.listen_backlog = 1024;
+    ncfg.drain_timeout_ms = 15000;
+    server = std::make_unique<net::HttpServer>(*sched, ncfg);
+    server->listen();
+    port = server->port();
+    server_thread = std::thread([&] { server_rc = server->run(); });
+  }
+  std::printf("serve_load: target 127.0.0.1:%d (%s), %d conns, smoke=%d\n",
+              port, in_process ? "in-process tiny model" : "external", conns,
+              smoke ? 1 : 0);
+
+  const int fd_baseline = count_open_fds();
+  std::mt19937_64 rng(seed);
+  LoadGen gen(port);
+  std::vector<std::string> results;
+  bool ok = true;
+
+  // ---- phase 1: concurrent-connection burst --------------------------
+  {
+    const double t0 = now_s();
+    for (int i = 0; i < conns; ++i) {
+      gen.launch(completion_request(rng, 8, /*stream=*/true));
+      // Brief poll every batch keeps the accept queue drained while we
+      // pile on connections.
+      if (i % 64 == 63) gen.poll_once(0);
+    }
+    gen.drain(now_s() + 60.0);
+    PhaseStats s = gen.take_stats();
+    s.wall_s = now_s() - t0;
+    print_phase("burst", s);
+    results.push_back(phase_json("burst", 0.0, s));
+    ok = ok && s.all_terminal() &&
+         s.completed + s.rejected == static_cast<std::int64_t>(conns);
+  }
+
+  // ---- phase 2: open-loop Poisson rate sweep -------------------------
+  for (const double rate : rates) {
+    std::exponential_distribution<double> gap(rate);
+    const double t0 = now_s();
+    const double t_end = t0 + duration;
+    double next_arrival = t0;
+    const std::size_t max_open = static_cast<std::size_t>(conns) * 2;
+    while (now_s() < t_end) {
+      const double now = now_s();
+      while (next_arrival <= now) {
+        next_arrival += gap(rng);
+        if (gen.open_count() >= max_open) continue;  // fd-cap shed
+        gen.launch(completion_request(rng, 8, /*stream=*/true));
+      }
+      const double sleep_s =
+          std::clamp(next_arrival - now_s(), 0.0, 0.01);
+      gen.poll_once(static_cast<int>(sleep_s * 1e3));
+    }
+    gen.drain(now_s() + 30.0);
+    PhaseStats s = gen.take_stats();
+    s.wall_s = now_s() - t0;
+    char label[32];
+    std::snprintf(label, sizeof(label), "rate %.0f", rate);
+    print_phase(label, s);
+    results.push_back(phase_json("poisson", rate, s));
+    ok = ok && s.all_terminal();
+  }
+
+  // ---- phase 3: SIGTERM drain mid-stream (in-process only) -----------
+  if (in_process) {
+    const double t0 = now_s();
+    for (int i = 0; i < 16; ++i) {
+      gen.launch(completion_request(rng, 24, /*stream=*/true));
+    }
+    // Wait until streams are demonstrably in flight, then pull the plug.
+    PhaseStats probe;
+    const double probe_deadline = now_s() + 10.0;
+    while (now_s() < probe_deadline && gen.open_count() == 16) {
+      gen.poll_once(5);
+      break;  // one sweep is enough to push the requests out
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ::raise(SIGTERM);
+    gen.drain(now_s() + 30.0);
+    PhaseStats s = gen.take_stats();
+    s.wall_s = now_s() - t0;
+    print_phase("drain", s);
+    results.push_back(phase_json("drain", 0.0, s));
+    // Every stream opened before SIGTERM must still finish (graceful
+    // drain), and the server loop must exit 0.
+    ok = ok && s.all_terminal();
+    server_thread.join();
+    std::printf("server drain exit code: %d\n", server_rc.load());
+    ok = ok && server_rc.load() == 0;
+    std::printf("server metrics: %s\n", server->metrics_json().c_str());
+
+    const serve::AuditSnapshot snap = sched->audit_snapshot();
+    const bool no_slab_leak = snap.pool_live == 0 && snap.pool_used == 0 &&
+                              snap.pool_acquires == snap.pool_releases;
+    std::printf("kv slabs: %lld live, %lld acquires, %lld releases -> %s\n",
+                static_cast<long long>(snap.pool_live),
+                static_cast<long long>(snap.pool_acquires),
+                static_cast<long long>(snap.pool_releases),
+                no_slab_leak ? "PASS" : "FAIL");
+    ok = ok && no_slab_leak;
+  }
+
+  const int fd_final = count_open_fds();
+  const bool no_fd_leak =
+      fd_baseline < 0 || fd_final < 0 || fd_final <= fd_baseline;
+  std::printf("fds: baseline %d, final %d -> %s\n", fd_baseline, fd_final,
+              no_fd_leak ? "PASS" : "FAIL");
+  ok = ok && no_fd_leak;
+
+  // ---- JSON curve ----------------------------------------------------
+  std::string json = "{\"conns\":" + std::to_string(conns) + ",\"phases\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) json += ",";
+    json += results[i];
+  }
+  json += "]}";
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("curve written to %s\n", out_path.c_str());
+  }
+
+  std::printf("serve_load: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,232 @@
+#include "chaos/net_chaos.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace nora::chaos {
+
+namespace {
+// Stable event-kind ordinals for stream keying (independent of the
+// ChaosEngine ordinals — different base seed label, different class).
+enum Kind : std::uint64_t {
+  kConnect = 1,
+  kConnBurst = 2,
+  kDisconnect = 3,
+  kLoris = 4,
+  kStall = 5,
+  kMalformed = 6,
+  kShape = 7,  // request-shape draws (prompt/max_new/stream-vs-unary)
+};
+
+/// Count non-overlapping occurrences of `needle` in `hay`.
+std::int64_t count_occurrences(const std::string& hay,
+                               const std::string& needle) {
+  std::int64_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+NetChaosEngine::NetChaosEngine(net::HttpServer& server, NetChaosConfig cfg,
+                               int vocab)
+    : server_(server), cfg_(cfg), vocab_(std::max(vocab, 1)) {
+  base_ = util::derive_seed(cfg_.seed, "net-chaos-engine");
+  if (cfg_.prompt_len_min < 1) cfg_.prompt_len_min = 1;
+  if (cfg_.prompt_len_max < cfg_.prompt_len_min) {
+    cfg_.prompt_len_max = cfg_.prompt_len_min;
+  }
+  if (cfg_.max_new_min < 1) cfg_.max_new_min = 1;
+  if (cfg_.max_new_max < cfg_.max_new_min) cfg_.max_new_max = cfg_.max_new_min;
+  if (cfg_.read_chunk < 1) cfg_.read_chunk = 1;
+}
+
+std::uint64_t NetChaosEngine::draw(std::int64_t step, std::uint64_t kind,
+                                   std::uint64_t index) const {
+  return util::derive_stream(base_, static_cast<std::uint64_t>(step), kind,
+                             index);
+}
+
+double NetChaosEngine::u01(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+std::string NetChaosEngine::completion_request(std::int64_t step,
+                                               std::uint64_t index,
+                                               bool stream) {
+  const std::uint64_t slot = index * 64;
+  const std::uint64_t h = draw(step, kShape, slot);
+  const int len = cfg_.prompt_len_min +
+                  static_cast<int>(h % static_cast<std::uint64_t>(
+                                           cfg_.prompt_len_max -
+                                           cfg_.prompt_len_min + 1));
+  std::string body = "{\"prompt\":[";
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) body += ",";
+    body += std::to_string(
+        draw(step, kShape, slot + 8 + static_cast<std::uint64_t>(i)) %
+        static_cast<std::uint64_t>(vocab_));
+  }
+  const std::uint64_t h2 = draw(step, kShape, slot + 1);
+  const int max_new =
+      cfg_.max_new_min +
+      static_cast<int>(h2 % static_cast<std::uint64_t>(
+                                cfg_.max_new_max - cfg_.max_new_min + 1));
+  body += "],\"max_new_tokens\":" + std::to_string(max_new) +
+          ",\"stream_seed\":" + std::to_string(draw(step, kShape, slot + 2)) +
+          ",\"stream\":" + (stream ? "true" : "false") + "}";
+  // Connection: close keeps client completion detection trivial and
+  // deterministic: read until kEof, then inspect what came back.
+  return "POST /v1/completions HTTP/1.1\r\n"
+         "Host: sim\r\n"
+         "Connection: close\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+void NetChaosEngine::spawn(std::int64_t step, std::uint64_t index,
+                           ClientKind kind) {
+  if (static_cast<int>(clients_.size()) >= cfg_.max_clients) {
+    ++stats_.skipped;
+    return;
+  }
+  auto [server_end, client_end] = net::make_sim_pair(cfg_.pipe_capacity);
+  auto c = std::make_unique<Client>();
+  c->t = std::move(client_end);
+  c->kind = kind;
+  switch (kind) {
+    case ClientKind::kStream:
+      c->to_send = completion_request(step, index, /*stream=*/true);
+      ++stats_.connects;
+      break;
+    case ClientKind::kUnary:
+      c->to_send = completion_request(step, index, /*stream=*/false);
+      ++stats_.connects;
+      break;
+    case ClientKind::kLoris:
+      // A real-looking request the server never gets all of.
+      c->to_send =
+          "GET /healthz HTTP/1.1\r\nHost: sim\r\nConnection: close\r\n\r\n";
+      ++stats_.loris_spawned;
+      break;
+    case ClientKind::kStall:
+      c->to_send = completion_request(step, index, /*stream=*/true);
+      ++stats_.stalls_spawned;
+      break;
+    case ClientKind::kMalformed:
+      c->to_send = "BOGUS \x01/ HTTP/9.9\r\n\r\n";
+      ++stats_.malformed_sent;
+      break;
+  }
+  // Adopt on the same virtual clock the harness feeds pump(), so the
+  // connection's first deadline is armed against consistent time.
+  server_.adopt(std::move(server_end), /*now_ms=*/step * cfg_.step_ms);
+  clients_.push_back(std::move(c));
+}
+
+void NetChaosEngine::finalize(Client& c) {
+  if (c.done) return;
+  c.done = true;
+  if (c.received.rfind("HTTP/1.1 2", 0) == 0) {
+    ++stats_.responses_2xx;
+  } else if (c.received.rfind("HTTP/1.1 4", 0) == 0) {
+    ++stats_.responses_4xx;
+  } else if (c.received.rfind("HTTP/1.1 5", 0) == 0) {
+    ++stats_.responses_5xx;
+  }
+  stats_.tokens_received += count_occurrences(c.received, "{\"token\":");
+  stats_.streams_completed += count_occurrences(c.received, "\"done\":true");
+}
+
+void NetChaosEngine::drive(Client& c) {
+  if (c.done) return;
+  // Send phase. Loris trickles one byte per step; everyone else pushes
+  // as much as the pipe will take.
+  if (c.sent < c.to_send.size() && !c.t->closed()) {
+    const std::size_t budget =
+        c.kind == ClientKind::kLoris ? 1 : c.to_send.size() - c.sent;
+    const std::ptrdiff_t w = c.t->write(c.to_send.data() + c.sent, budget);
+    if (w > 0) {
+      c.sent += static_cast<std::size_t>(w);
+      stats_.bytes_sent += w;
+    } else if (w == net::Transport::kError) {
+      // Server already dropped us (timeout, malformed, shed).
+      finalize(c);
+      return;
+    }
+  }
+  // Read phase. Stalled writers never read — that is their whole job;
+  // they are reaped once the server gives up on them.
+  if (c.kind == ClientKind::kStall) {
+    if (c.t->peer_closed()) {
+      ++stats_.stall_reaped;
+      finalize(c);
+    }
+    return;
+  }
+  char buf[1024];
+  std::size_t budget = static_cast<std::size_t>(cfg_.read_chunk);
+  while (budget > 0) {
+    const std::ptrdiff_t r =
+        c.t->read(buf, std::min(budget, sizeof(buf)));
+    if (r > 0) {
+      c.received.append(buf, static_cast<std::size_t>(r));
+      stats_.bytes_received += r;
+      budget -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == net::Transport::kAgain) return;  // drained for this step
+    finalize(c);  // kEof/kError: response (or rejection) is complete
+    return;
+  }
+}
+
+void NetChaosEngine::tick(std::int64_t step) {
+  std::uint64_t shape_index = static_cast<std::uint64_t>(step) << 8;
+  if (cfg_.connect_rate > 0.0 &&
+      u01(draw(step, kConnect, 0)) < cfg_.connect_rate) {
+    const bool unary = (draw(step, kConnect, 1) & 3) == 0;  // 1 in 4
+    spawn(step, shape_index++,
+          unary ? ClientKind::kUnary : ClientKind::kStream);
+  }
+  if (cfg_.burst_rate > 0.0 &&
+      u01(draw(step, kConnBurst, 0)) < cfg_.burst_rate) {
+    ++stats_.bursts;
+    for (int i = 0; i < cfg_.burst_size; ++i) {
+      spawn(step, shape_index++, ClientKind::kStream);
+    }
+  }
+  if (cfg_.loris_rate > 0.0 && u01(draw(step, kLoris, 0)) < cfg_.loris_rate) {
+    spawn(step, shape_index++, ClientKind::kLoris);
+  }
+  if (cfg_.stall_rate > 0.0 && u01(draw(step, kStall, 0)) < cfg_.stall_rate) {
+    spawn(step, shape_index++, ClientKind::kStall);
+  }
+  if (cfg_.malformed_rate > 0.0 &&
+      u01(draw(step, kMalformed, 0)) < cfg_.malformed_rate) {
+    spawn(step, shape_index++, ClientKind::kMalformed);
+  }
+  if (cfg_.disconnect_rate > 0.0 && !clients_.empty() &&
+      u01(draw(step, kDisconnect, 0)) < cfg_.disconnect_rate) {
+    // Kill a uniformly random live client's transport. Hitting one that
+    // already finished is the race working as intended.
+    Client& victim =
+        *clients_[draw(step, kDisconnect, 1) % clients_.size()];
+    if (!victim.t->closed()) {
+      victim.t->close();
+      ++stats_.disconnects;
+      finalize(victim);
+    }
+  }
+  for (auto& c : clients_) drive(*c);
+  clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                [](const std::unique_ptr<Client>& c) {
+                                  return c->done;
+                                }),
+                 clients_.end());
+}
+
+}  // namespace nora::chaos

@@ -1,0 +1,148 @@
+// Deterministic network-fault injection for the HTTP front end.
+//
+// NetChaosEngine extends the chaos subsystem across the wire: it owns a
+// population of simulated HTTP clients attached to an HttpServer over
+// bounded in-memory pipes (net::SimTransport) and drives every
+// connection-lifecycle failure the server claims to survive:
+//
+//   * well-behaved streaming and unary completion clients (the control
+//     group — these must actually finish);
+//   * slow-loris readers that trickle one header byte per step and must
+//     die to the header timeout, never to resource exhaustion;
+//   * stalled writers that submit a stream and then stop reading it,
+//     forcing the write-stall/overflow cancel path;
+//   * mid-stream disconnects that vanish while tokens are in flight and
+//     must cost exactly one Scheduler::cancel;
+//   * connect bursts and malformed requests.
+//
+// Same replay discipline as ChaosEngine: every decision is a pure
+// function of (seed, step, kind, index) via counter-keyed draws, the
+// pipes are deterministic, and the server only sees the virtual clock
+// the harness feeds to pump() — so a soak that mixes physical chaos,
+// traffic chaos and network chaos stays bit-replayable from its seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net/transport.hpp"
+
+namespace nora::chaos {
+
+struct NetChaosConfig {
+  std::uint64_t seed = 2300;
+
+  /// Probability per step of one well-behaved completion client
+  /// connecting (streaming or unary, drawn per client).
+  double connect_rate = 0.0;
+  /// Probability per step of a connect burst of `burst_size` clients.
+  double burst_rate = 0.0;
+  int burst_size = 8;
+  /// Probability per step of killing one random live client's transport
+  /// mid-whatever-it-was-doing (the mid-stream disconnect).
+  double disconnect_rate = 0.0;
+  /// Probability per step of spawning a slow-loris client (one header
+  /// byte per step, never completes inside any sane header budget).
+  double loris_rate = 0.0;
+  /// Probability per step of spawning a stalled writer: submits a
+  /// streaming completion, then never reads a single response byte.
+  double stall_rate = 0.0;
+  /// Probability per step of a malformed request (must cost one 4xx and
+  /// a closed connection, nothing else).
+  double malformed_rate = 0.0;
+
+  /// Bytes a reading client drains per step (small values make the
+  /// server's chunk pacing and write buffering do real work).
+  int read_chunk = 256;
+  /// Per-direction sim-pipe capacity. Deliberately small: a stalled
+  /// reader must actually backpressure the server.
+  std::size_t pipe_capacity = 512;
+  /// Live-client cap; spawns beyond it are recorded as skipped.
+  int max_clients = 64;
+  /// Virtual milliseconds per soak step. MUST match the clock the
+  /// harness feeds server.pump() (now_ms = step * step_ms) — adopt()
+  /// arms deadlines against the same clock.
+  std::int64_t step_ms = 100;
+
+  // Shape of generated completion requests.
+  int prompt_len_min = 1;
+  int prompt_len_max = 8;
+  int max_new_min = 1;
+  int max_new_max = 12;
+};
+
+struct NetChaosStats {
+  std::int64_t connects = 0;       // well-behaved clients spawned
+  std::int64_t bursts = 0;
+  std::int64_t disconnects = 0;    // transports killed mid-flight
+  std::int64_t loris_spawned = 0;
+  std::int64_t stalls_spawned = 0;
+  std::int64_t malformed_sent = 0;
+  std::int64_t skipped = 0;        // spawns refused at max_clients
+
+  // Client-side observations (what actually came back over the pipes).
+  std::int64_t responses_2xx = 0;
+  std::int64_t responses_4xx = 0;
+  std::int64_t responses_5xx = 0;
+  std::int64_t streams_completed = 0;  // saw {"done":true,...}
+  std::int64_t tokens_received = 0;    // token chunks observed
+  std::int64_t stall_reaped = 0;       // stalled writers the server killed
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+
+  std::int64_t total_events() const {
+    return connects + bursts + disconnects + loris_spawned + stalls_spawned +
+           malformed_sent;
+  }
+};
+
+class NetChaosEngine {
+ public:
+  /// `vocab` bounds generated prompt token ids. The server must be in
+  /// deterministic mode (the harness owns pump() and the clock).
+  NetChaosEngine(net::HttpServer& server, NetChaosConfig cfg, int vocab);
+
+  /// Spawn/kill/drive clients scheduled for virtual step `step`. Call
+  /// once per step; the harness then calls server.pump(now_ms).
+  void tick(std::int64_t step);
+
+  /// True once every spawned client reached a terminal fate (response
+  /// finished, connection closed by either side, or reaped).
+  bool all_done() const { return clients_.empty(); }
+  std::size_t live_clients() const { return clients_.size(); }
+  const NetChaosStats& stats() const { return stats_; }
+
+ private:
+  enum class ClientKind { kStream, kUnary, kLoris, kStall, kMalformed };
+
+  struct Client {
+    std::unique_ptr<net::SimTransport> t;
+    ClientKind kind = ClientKind::kStream;
+    std::string to_send;
+    std::size_t sent = 0;
+    std::string received;
+    bool done = false;
+  };
+
+  std::uint64_t draw(std::int64_t step, std::uint64_t kind,
+                     std::uint64_t index) const;
+  static double u01(std::uint64_t x);
+
+  void spawn(std::int64_t step, std::uint64_t index, ClientKind kind);
+  std::string completion_request(std::int64_t step, std::uint64_t index,
+                                 bool stream);
+  void drive(Client& c);
+  void finalize(Client& c);
+
+  net::HttpServer& server_;
+  NetChaosConfig cfg_;
+  int vocab_;
+  std::uint64_t base_ = 0;
+  std::vector<std::unique_ptr<Client>> clients_;
+  NetChaosStats stats_;
+};
+
+}  // namespace nora::chaos

@@ -1,0 +1,287 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace nora::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Token characters legal in an HTTP method (RFC 9110 tchar, abridged).
+bool is_method_char(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '-' ||
+         c == '_';
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::path() const {
+  const auto q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+HttpParser::HttpParser(HttpLimits limits) : limits_(limits) {}
+
+HttpParser::Status HttpParser::fail(int status, std::string msg) {
+  phase_ = Phase::kFailed;
+  status_ = Status::kError;
+  error_status_ = status;
+  error_ = std::move(msg);
+  return status_;
+}
+
+HttpParser::Status HttpParser::feed(std::string_view data) {
+  buf_.append(data.data(), data.size());
+  return advance();
+}
+
+HttpParser::Status HttpParser::advance() {
+  if (phase_ == Phase::kDone || phase_ == Phase::kFailed) return status_;
+  if (phase_ == Phase::kHeaders) {
+    if (!buf_.empty()) started_ = true;
+    const std::size_t end = buf_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buf_.size() > limits_.max_header_bytes) {
+        return fail(431, "header block exceeds " +
+                             std::to_string(limits_.max_header_bytes) +
+                             " bytes");
+      }
+      return status_ = Status::kNeedMore;
+    }
+    if (end + 4 > limits_.max_header_bytes) {
+      return fail(431, "header block exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    const std::string head = buf_.substr(0, end);
+    buf_.erase(0, end + 4);
+    if (!parse_head(head)) return status_;  // fail() already recorded
+    if (body_needed_ == 0) {
+      phase_ = Phase::kDone;
+      return status_ = Status::kComplete;
+    }
+    phase_ = Phase::kBody;
+  }
+  // Body phase: take exactly Content-Length bytes; surplus stays
+  // buffered for the next (pipelined) request.
+  if (buf_.size() < body_needed_) return status_ = Status::kNeedMore;
+  req_.body = buf_.substr(0, body_needed_);
+  buf_.erase(0, body_needed_);
+  body_needed_ = 0;
+  phase_ = Phase::kDone;
+  return status_ = Status::kComplete;
+}
+
+bool HttpParser::parse_head(std::string_view head) {
+  // ---- request line ----------------------------------------------------
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() ||
+      !std::all_of(method.begin(), method.end(), is_method_char)) {
+    fail(400, "malformed method token");
+    return false;
+  }
+  if (target.empty() || target[0] != '/') {
+    fail(400, "target must be origin-form (start with '/')");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    req_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    req_.version_minor = 0;
+  } else if (version.rfind("HTTP/", 0) == 0) {
+    fail(505, "unsupported HTTP version '" + std::string(version) + "'");
+    return false;
+  } else {
+    fail(400, "malformed HTTP version");
+    return false;
+  }
+  req_.method.assign(method);
+  req_.target.assign(target);
+
+  // ---- headers ---------------------------------------------------------
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  bool have_length = false;
+  std::size_t content_length = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view h = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (h.empty()) continue;
+    if (h[0] == ' ' || h[0] == '\t') {
+      fail(400, "obsolete header folding rejected");
+      return false;
+    }
+    const std::size_t colon = h.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      fail(400, "malformed header field");
+      return false;
+    }
+    const std::string_view name = h.substr(0, colon);
+    if (name.back() == ' ' || name.back() == '\t') {
+      fail(400, "whitespace before header colon");
+      return false;
+    }
+    const std::string_view value = trim(h.substr(colon + 1));
+    req_.headers.emplace_back(std::string(name), std::string(value));
+
+    if (iequals(name, "Content-Length")) {
+      if (have_length) {
+        fail(400, "duplicate Content-Length");
+        return false;
+      }
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(), [](char c) {
+            return c >= '0' && c <= '9';
+          }) ||
+          value.size() > 18) {
+        fail(400, "malformed Content-Length");
+        return false;
+      }
+      content_length = 0;
+      for (const char c : value) {
+        content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+      }
+      have_length = true;
+    } else if (iequals(name, "Transfer-Encoding")) {
+      // We never need chunked *requests* (bodies are tiny JSON) and a
+      // permissive half-implementation is how request-smuggling bugs
+      // happen — refuse loudly instead.
+      fail(501, "Transfer-Encoding requests not supported");
+      return false;
+    }
+  }
+  if (have_length && content_length > limits_.max_body_bytes) {
+    fail(413, "body of " + std::to_string(content_length) +
+                  " bytes exceeds limit " +
+                  std::to_string(limits_.max_body_bytes));
+    return false;
+  }
+  body_needed_ = have_length ? content_length : 0;
+
+  // ---- connection semantics -------------------------------------------
+  req_.keep_alive = req_.version_minor >= 1;
+  if (const std::string* conn = req_.header("Connection")) {
+    if (iequals(*conn, "close")) req_.keep_alive = false;
+    if (iequals(*conn, "keep-alive")) req_.keep_alive = true;
+  }
+  return true;
+}
+
+HttpParser::Status HttpParser::reset() {
+  phase_ = Phase::kHeaders;
+  status_ = Status::kNeedMore;
+  req_ = HttpRequest{};
+  body_needed_ = 0;
+  started_ = !buf_.empty();
+  error_status_ = 400;
+  error_.clear();
+  return advance();
+}
+
+const char* http_status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+std::string response_head(int status, std::string_view content_type,
+                          bool keep_alive, std::string_view extra_headers) {
+  std::string s = "HTTP/1.1 " + std::to_string(status) + " " +
+                  http_status_text(status) + "\r\n";
+  s += "Content-Type: ";
+  s += content_type;
+  s += "\r\n";
+  s += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  if (!extra_headers.empty()) s += extra_headers;  // caller supplies CRLFs
+  return s;
+}
+}  // namespace
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_headers) {
+  std::string s = response_head(status, content_type, keep_alive,
+                                extra_headers);
+  s += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  s.append(body.data(), body.size());
+  return s;
+}
+
+std::string http_chunked_head(int status, std::string_view content_type,
+                              bool keep_alive,
+                              std::string_view extra_headers) {
+  std::string s = response_head(status, content_type, keep_alive,
+                                extra_headers);
+  s += "Transfer-Encoding: chunked\r\n\r\n";
+  return s;
+}
+
+std::string http_chunk(std::string_view payload) {
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", payload.size());
+  std::string s = size_line;
+  s.append(payload.data(), payload.size());
+  s += "\r\n";
+  return s;
+}
+
+std::string_view http_last_chunk() { return "0\r\n\r\n"; }
+
+}  // namespace nora::net

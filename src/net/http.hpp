@@ -1,0 +1,107 @@
+// Incremental, bounded HTTP/1.1 request parser and response encoding.
+//
+// The parser is written for a hostile network: it consumes bytes as they
+// arrive (a slow-loris client that dribbles one byte per second makes
+// progress checks, not crashes), enforces hard ceilings on request-line,
+// header-block and body sizes, and turns every malformed input into a
+// structured error with the HTTP status the server should answer with
+// (400/413/431/501/505) instead of throwing. One parser instance serves
+// a whole keep-alive connection: reset() arms it for the next request
+// and any pipelined bytes already received are kept.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nora::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase by convention of the sender
+  std::string target;   // origin-form, e.g. "/v1/completions?x=1"
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  // Connection semantics already resolved
+
+  /// Case-insensitive single-header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+  /// Target path without the query string.
+  std::string path() const;
+};
+
+struct HttpLimits {
+  /// Request line + headers, including all CRLFs (431 beyond this).
+  std::size_t max_header_bytes = 8192;
+  /// Declared Content-Length ceiling (413 beyond this).
+  std::size_t max_body_bytes = 65536;
+};
+
+class HttpParser {
+ public:
+  enum class Status {
+    kNeedMore,  // incomplete; feed more bytes
+    kComplete,  // request() is valid; reset() before the next request
+    kError,     // protocol violation; error_status()/error() describe it
+  };
+
+  explicit HttpParser(HttpLimits limits = {});
+
+  /// Append bytes and advance the parse. Once kComplete or kError is
+  /// reached, further feed() calls buffer the bytes but do not parse
+  /// (pipelined data waits for reset()).
+  Status feed(std::string_view data);
+  /// Re-examine already-buffered bytes (used by reset() internally and
+  /// after construction with leftover data).
+  Status advance();
+
+  Status status() const { return status_; }
+  const HttpRequest& request() const { return req_; }
+  /// HTTP status code the server should answer a kError parse with.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  /// True once any byte of the *current* request has been seen — the
+  /// header-timeout clock starts here, not at connection accept.
+  bool started() const { return started_; }
+
+  /// Arm for the next request on the same connection, keeping (and
+  /// immediately parsing) any pipelined bytes already buffered.
+  Status reset();
+
+ private:
+  enum class Phase { kHeaders, kBody, kDone, kFailed };
+
+  Status fail(int status, std::string msg);
+  bool parse_head(std::string_view head);
+
+  HttpLimits limits_;
+  Phase phase_ = Phase::kHeaders;
+  Status status_ = Status::kNeedMore;
+  std::string buf_;          // unconsumed input
+  HttpRequest req_;
+  std::size_t body_needed_ = 0;
+  bool started_ = false;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// Reason phrase for the handful of statuses the server emits.
+const char* http_status_text(int code);
+
+/// A complete non-chunked response with Content-Length.
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_headers = {});
+
+/// Response head that opens a chunked stream (no terminating blank-line
+/// chunk yet); follow with http_chunk() calls and http_last_chunk().
+std::string http_chunked_head(int status, std::string_view content_type,
+                              bool keep_alive,
+                              std::string_view extra_headers = {});
+std::string http_chunk(std::string_view payload);
+std::string_view http_last_chunk();
+
+}  // namespace nora::net

@@ -1,0 +1,358 @@
+#include "net/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nora::net {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::int64_t JsonValue::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+double JsonValue::get_double(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::make_array(JsonArray a) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::move(a);
+  return v;
+}
+JsonValue JsonValue::make_object(JsonObject o) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonParseResult run() {
+    JsonParseResult r;
+    skip_ws();
+    if (!parse_value(r.value, 0)) {
+      r.error = error_;
+      r.offset = pos_;
+      return r;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      r.error = "trailing characters after document";
+      r.offset = pos_;
+      return r;
+    }
+    r.ok = true;
+    r.offset = pos_;
+    return r;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > max_depth_) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("unexpected end of document");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return fail("invalid literal");
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return fail("invalid literal");
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return fail("invalid literal");
+        out = JsonValue::make_null();
+        return true;
+      default:
+        // Rejects NaN/Infinity/-Infinity by construction: only a digit
+        // or minus may start a number.
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;  // leading zero may not be followed by digits
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("leading zero in number");
+      }
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required in exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    const double d = std::strtod(num.c_str(), nullptr);
+    if (!std::isfinite(d)) return fail("number out of range");
+    out = JsonValue::make_number(d);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (eof()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned int cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // BMP-only UTF-8 encoding; surrogate pairs are passed through
+          // as two 3-byte sequences (lossless for round-tripping, which
+          // is all the serving layer needs).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      out = JsonValue::make_array(std::move(arr));
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        out = JsonValue::make_array(std::move(arr));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      out = JsonValue::make_object(std::move(obj));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("object key must be a string");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':' after object key");
+      ++pos_;
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      if (obj.count(key) > 0) return fail("duplicate object key '" + key + "'");
+      obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        out = JsonValue::make_object(std::move(obj));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  int max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult json_parse(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+std::string json_check(std::string_view text) {
+  const JsonParseResult r = json_parse(text);
+  return r.ok ? std::string() : r.error;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace nora::net

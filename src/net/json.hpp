@@ -1,0 +1,90 @@
+// Minimal recursive-descent JSON reader for the network front end.
+//
+// Two jobs, both dependency-free: (a) parse the tiny request bodies the
+// completion endpoint accepts, (b) act as the well-formedness oracle for
+// everything the repo serializes (Metrics::to_json, /metrics, bench
+// output) — a strict parser rejects unbalanced braces, unquoted keys,
+// trailing commas and the NaN/Inf literals printf likes to emit.
+//
+// Strictness over features: no comments, no trailing commas, UTF-8
+// passed through untouched, \uXXXX unescaped only for the BMP. Depth is
+// bounded so hostile bodies cannot blow the stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nora::net {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map: deterministic iteration order for re-serialization.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const JsonArray& as_array() const { return arr_; }
+  const JsonObject& as_object() const { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Typed conveniences with fallbacks (absent or wrong type → fallback).
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(JsonArray a);
+  static JsonValue make_object(JsonObject o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;       // human-readable, with byte offset
+  std::size_t offset = 0;  // where parsing stopped / failed
+};
+
+/// Parse one complete JSON document. Trailing non-whitespace after the
+/// document is an error (a concatenation bug, not a document).
+JsonParseResult json_parse(std::string_view text, int max_depth = 64);
+
+/// Well-formedness check: empty string on success, else the parse error.
+std::string json_check(std::string_view text);
+
+/// Serialize a string with full JSON escaping (quotes included).
+std::string json_escape(std::string_view s);
+
+}  // namespace nora::net

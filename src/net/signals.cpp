@@ -1,0 +1,67 @@
+#include "net/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace nora::net {
+
+namespace {
+
+std::atomic<int> g_signal_count{0};
+int g_pipe[2] = {-1, -1};
+std::atomic<bool> g_installed{false};
+
+void on_signal(int) {
+  g_signal_count.fetch_add(1, std::memory_order_relaxed);
+  if (g_pipe[1] >= 0) {
+    const char b = 1;
+    // Best-effort, async-signal-safe; a full pipe already wakes the poller.
+    [[maybe_unused]] const auto r = ::write(g_pipe[1], &b, 1);
+  }
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  if (::pipe(g_pipe) == 0) {
+    ::fcntl(g_pipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(g_pipe[1], F_SETFL, O_NONBLOCK);
+  } else {
+    g_pipe[0] = g_pipe[1] = -1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking poll/epoll must wake
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_signal_count.load(std::memory_order_relaxed) > 0;
+}
+
+int shutdown_signal_count() {
+  return g_signal_count.load(std::memory_order_relaxed);
+}
+
+int shutdown_wake_fd() { return g_pipe[0]; }
+
+void drain_wake_fd() {
+  if (g_pipe[0] < 0) return;
+  char buf[64];
+  while (::read(g_pipe[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+void reset_shutdown_flag() {
+  g_signal_count.store(0, std::memory_order_relaxed);
+  drain_wake_fd();
+}
+
+}  // namespace nora::net

@@ -1,0 +1,32 @@
+// SIGINT/SIGTERM handling for serving loops and long-running benches.
+//
+// The handler does the only two async-signal-safe things that help: it
+// sets a flag and writes one byte to a self-pipe. Loops either poll
+// shutdown_requested() at their step boundary (benches) or register
+// wake_fd() with their Poller so a signal interrupts a blocking wait
+// immediately (the server). A second signal while a graceful drain is
+// in progress is the operator insisting — callers should treat
+// shutdown_signal_count() >= 2 as "stop now, skip the drain".
+#pragma once
+
+namespace nora::net {
+
+/// Install handlers for SIGINT and SIGTERM. Idempotent; first call wins.
+void install_signal_handlers();
+
+/// True once any handled signal arrived.
+bool shutdown_requested();
+
+/// How many handled signals have arrived (2+ = abandon graceful drain).
+int shutdown_signal_count();
+
+/// Read end of the self-pipe; becomes readable when a signal lands.
+/// -1 until install_signal_handlers() ran. Never read it empty —
+/// drain_wake_fd() does the nonblocking drain.
+int shutdown_wake_fd();
+void drain_wake_fd();
+
+/// Tests only: forget previous signals (handlers stay installed).
+void reset_shutdown_flag();
+
+}  // namespace nora::net

@@ -1,0 +1,76 @@
+#include "net/timeout_wheel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nora::net {
+
+TimeoutWheel::TimeoutWheel(std::int64_t tick_ms, std::size_t slots)
+    : tick_ms_(tick_ms), slots_(slots) {
+  if (tick_ms < 1 || slots < 2) {
+    throw std::invalid_argument("TimeoutWheel: tick_ms >= 1, slots >= 2");
+  }
+}
+
+std::size_t TimeoutWheel::slot_for(std::int64_t deadline_ms) const {
+  // Round the deadline UP to a tick so an entry never fires early.
+  const std::int64_t tick = (deadline_ms + tick_ms_ - 1) / tick_ms_;
+  return static_cast<std::size_t>(tick) % slots_.size();
+}
+
+void TimeoutWheel::schedule(std::uint64_t key, std::int64_t deadline_ms) {
+  live_[key] = deadline_ms;  // stale slot entries are skipped lazily
+  slots_[slot_for(deadline_ms)].push_back(Entry{key, deadline_ms});
+}
+
+void TimeoutWheel::cancel(std::uint64_t key) { live_.erase(key); }
+
+void TimeoutWheel::expire(std::int64_t now_ms, std::vector<std::uint64_t>& out) {
+  if (live_.empty()) {
+    last_tick_ = now_ms / tick_ms_;
+    return;
+  }
+  const std::int64_t now_tick = now_ms / tick_ms_;
+  // Walk every slot the clock crossed since the last expire, plus one
+  // tick ahead: slots are keyed on the deadline rounded UP, so an entry
+  // due now may live in slot now_tick+1. The deadline comparison below
+  // keeps future entries in that slot from firing early. Cap the walk
+  // at one full rotation (further laps revisit the same slots).
+  const std::int64_t ticks =
+      std::min<std::int64_t>(now_tick + 1 - last_tick_,
+                             static_cast<std::int64_t>(slots_.size()));
+  for (std::int64_t t = 0; t <= ticks; ++t) {
+    const std::size_t s =
+        static_cast<std::size_t>(last_tick_ + t) % slots_.size();
+    auto& slot = slots_[s];
+    for (std::size_t i = 0; i < slot.size();) {
+      const Entry& e = slot[i];
+      const auto it = live_.find(e.key);
+      if (it == live_.end() || it->second != e.deadline_ms) {
+        // Cancelled or re-armed elsewhere: lazy-delete.
+        slot[i] = slot.back();
+        slot.pop_back();
+        continue;
+      }
+      if (e.deadline_ms <= now_ms) {
+        out.push_back(e.key);
+        live_.erase(it);
+        slot[i] = slot.back();
+        slot.pop_back();
+        continue;
+      }
+      ++i;  // same slot, a future rotation
+    }
+  }
+  last_tick_ = now_tick;
+}
+
+std::int64_t TimeoutWheel::next_deadline() const {
+  std::int64_t best = -1;
+  for (const auto& [key, deadline] : live_) {
+    if (best < 0 || deadline < best) best = deadline;
+  }
+  return best;
+}
+
+}  // namespace nora::net

@@ -1,0 +1,58 @@
+// Hashed timeout wheel on a monotonic millisecond clock.
+//
+// The server arms exactly one deadline per connection (idle, header, or
+// write-stall, depending on the connection's phase) and re-arms it on
+// every phase change or byte of write progress. A wheel makes that
+// churn O(1): schedule/cancel are constant-time, and expire() touches
+// only the slots the clock actually crossed. Cancellation is lazy — a
+// cancelled or rescheduled entry stays in its slot and is discarded
+// when its slot comes around, checked against the live-deadline map.
+//
+// The clock source is the caller's: real servers pass
+// steady_clock-derived ms, deterministic harnesses pass virtual ms
+// (step * step_ms), which is what makes timeout behavior replayable in
+// the chaos soak.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace nora::net {
+
+class TimeoutWheel {
+ public:
+  /// tick_ms: slot granularity (deadlines round up to the next tick);
+  /// slots: wheel size — one rotation covers tick_ms * slots.
+  explicit TimeoutWheel(std::int64_t tick_ms = 50, std::size_t slots = 256);
+
+  /// Arm (or re-arm) `key` to fire at deadline_ms. One deadline per key.
+  void schedule(std::uint64_t key, std::int64_t deadline_ms);
+  /// Disarm; a later expire() will not report the key.
+  void cancel(std::uint64_t key);
+
+  /// Append every key whose deadline is <= now_ms to `out` (disarming
+  /// it), advancing the wheel. now_ms must be monotonic non-decreasing.
+  void expire(std::int64_t now_ms, std::vector<std::uint64_t>& out);
+
+  /// Earliest live deadline, or -1 when nothing is armed (gives the
+  /// poll loop its sleep bound). O(live entries) worst case, but only
+  /// consulted when the server is otherwise idle.
+  std::int64_t next_deadline() const;
+
+  std::size_t armed() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::int64_t deadline_ms;
+  };
+  std::size_t slot_for(std::int64_t deadline_ms) const;
+
+  std::int64_t tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  std::unordered_map<std::uint64_t, std::int64_t> live_;  // key -> deadline
+  std::int64_t last_tick_ = 0;  // wheel position in ticks
+};
+
+}  // namespace nora::net

@@ -1,0 +1,199 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace nora::net {
+
+// ---------------------------------------------------------------------------
+// SimTransport
+// ---------------------------------------------------------------------------
+
+struct SimTransport::Core {
+  explicit Core(std::size_t cap) : capacity(cap) {}
+  std::size_t capacity;
+  // pipes[d]: bytes flowing from side d to side 1-d.
+  std::deque<char> pipes[2];
+  bool side_closed[2] = {false, false};
+};
+
+SimTransport::SimTransport(std::shared_ptr<Core> core, int side)
+    : core_(std::move(core)), side_(side) {}
+
+std::pair<std::unique_ptr<SimTransport>, std::unique_ptr<SimTransport>>
+make_sim_pair(std::size_t capacity) {
+  auto core = std::make_shared<SimTransport::Core>(capacity);
+  std::unique_ptr<SimTransport> a(new SimTransport(core, 0));
+  std::unique_ptr<SimTransport> b(new SimTransport(core, 1));
+  return {std::move(a), std::move(b)};
+}
+
+std::ptrdiff_t SimTransport::read(char* buf, std::size_t n) {
+  if (core_->side_closed[side_]) return kError;  // read after own close
+  auto& pipe = core_->pipes[1 - side_];
+  if (pipe.empty()) {
+    return core_->side_closed[1 - side_] ? kEof : kAgain;
+  }
+  const std::size_t take = std::min(n, pipe.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    buf[i] = pipe.front();
+    pipe.pop_front();
+  }
+  return static_cast<std::ptrdiff_t>(take);
+}
+
+std::ptrdiff_t SimTransport::write(const char* buf, std::size_t n) {
+  if (core_->side_closed[side_]) return kError;
+  if (core_->side_closed[1 - side_]) return kError;  // EPIPE
+  auto& pipe = core_->pipes[side_];
+  if (pipe.size() >= core_->capacity) return kAgain;
+  const std::size_t room = core_->capacity - pipe.size();
+  const std::size_t put = std::min(n, room);
+  if (put == 0) return kAgain;
+  pipe.insert(pipe.end(), buf, buf + put);
+  return static_cast<std::ptrdiff_t>(put);
+}
+
+void SimTransport::close() { core_->side_closed[side_] = true; }
+
+bool SimTransport::closed() const { return core_->side_closed[side_]; }
+
+std::size_t SimTransport::readable() const {
+  return core_->pipes[1 - side_].size();
+}
+
+bool SimTransport::peer_closed() const {
+  return core_->side_closed[1 - side_];
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport / TcpListener
+// ---------------------------------------------------------------------------
+
+namespace {
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("net: fcntl(O_NONBLOCK) failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+}  // namespace
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  set_nonblocking(fd_);
+  // Token chunks are a few dozen bytes; without TCP_NODELAY Nagle would
+  // batch them behind delayed ACKs and wreck TTFT/TPOT measurements.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+std::ptrdiff_t TcpTransport::read(char* buf, std::size_t n) {
+  if (fd_ < 0) return kError;
+  const ssize_t r = ::recv(fd_, buf, n, 0);
+  if (r > 0) return r;
+  if (r == 0) return kEof;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return kAgain;
+  return kError;
+}
+
+std::ptrdiff_t TcpTransport::write(const char* buf, std::size_t n) {
+  if (fd_ < 0) return kError;
+  const ssize_t r = ::send(fd_, buf, n, MSG_NOSIGNAL);
+  if (r >= 0) return r;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return kAgain;
+  return kError;
+}
+
+void TcpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpTransport::closed() const { return fd_ < 0; }
+
+std::unique_ptr<TcpTransport> TcpTransport::connect_local(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  try {
+    set_nonblocking(fd);
+  } catch (...) {
+    ::close(fd);
+    return nullptr;
+  }
+  const int r = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr));
+  if (r < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+TcpListener::TcpListener(int port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("net: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net: bind(127.0.0.1:" + std::to_string(port) +
+                             ") failed: " + err);
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net: listen() failed: " + err);
+  }
+  set_nonblocking(fd_);
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<TcpTransport> TcpListener::accept() {
+  if (fd_ < 0) return nullptr;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return nullptr;  // EAGAIN / transient — caller retries
+  return std::make_unique<TcpTransport>(cfd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace nora::net

@@ -124,7 +124,10 @@ std::string Metrics::to_json() const {
     if (comma) s += ",";
   };
   auto add_d = [&s](const char* k, double v, bool comma = true) {
-    s += std::string("\"") + k + "\":" + fmt("%.6g", v);
+    // JSON has no NaN/Inf literals; %.6g would happily print them and
+    // corrupt the document. Non-finite aggregates serialize as null.
+    s += std::string("\"") + k + "\":" +
+         (std::isfinite(v) ? fmt("%.6g", v) : std::string("null"));
     if (comma) s += ",";
   };
   add_i("submitted", submitted);

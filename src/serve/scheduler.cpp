@@ -93,6 +93,38 @@ std::int64_t Scheduler::backoff_steps_locked(std::int64_t id,
   return std::max<std::int64_t>(b, 1);
 }
 
+void Scheduler::emit_token_locked(std::int64_t id, int token, bool degraded) {
+  if (!cfg_.record_events) return;
+  ServeEvent e;
+  e.kind = ServeEventKind::kToken;
+  e.id = id;
+  e.step = step_;
+  e.token = token;
+  e.degraded = degraded;
+  events_.push_back(e);
+}
+
+void Scheduler::emit_terminal_locked(std::int64_t id, RequestState state,
+                                     ServeError error) {
+  if (!cfg_.record_events) return;
+  ServeEvent e;
+  e.kind = ServeEventKind::kTerminal;
+  e.id = id;
+  e.step = step_;
+  e.state = state;
+  e.error = error;
+  events_.push_back(e);
+}
+
+void Scheduler::emit_discard_locked(std::int64_t id) {
+  if (!cfg_.record_events) return;
+  ServeEvent e;
+  e.kind = ServeEventKind::kDiscard;
+  e.id = id;
+  e.step = step_;
+  events_.push_back(e);
+}
+
 void Scheduler::reject_locked(RequestRecord& rec, ServeError code,
                               std::string detail) {
   rec.state = RequestState::kRejected;
@@ -101,6 +133,7 @@ void Scheduler::reject_locked(RequestRecord& rec, ServeError code,
   rec.finish_step = step_;
   ++metrics_.rejected;
   ++metrics_.rejected_by_code[static_cast<std::size_t>(code)];
+  emit_terminal_locked(rec.id, RequestState::kRejected, code);
 }
 
 std::int64_t Scheduler::submit(RequestParams params) {
@@ -194,6 +227,7 @@ void Scheduler::retire_locked(Active& a, RequestState state) {
     case RequestState::kExpired: ++metrics_.expired; break;
     default: break;
   }
+  emit_terminal_locked(a.id, state, rec.error);
 }
 
 void Scheduler::requeue_locked(Active& a) {
@@ -221,6 +255,7 @@ void Scheduler::requeue_locked(Active& a) {
   ++rec.attempts;
   params_.push_back(std::move(p));
   queue_.push_back(a.id);
+  emit_discard_locked(a.id);
 }
 
 bool Scheduler::admit_locked() {
@@ -367,6 +402,7 @@ bool Scheduler::step() {
                                      return p.id == id;
                                    }),
                     params_.end());
+      emit_terminal_locked(id, RequestState::kCancelled, rec.error);
     } else if (rec.state == RequestState::kRunning) {
       auto it = std::find_if(running_.begin(), running_.end(),
                              [&](const Active& a) { return a.id == id; });
@@ -403,6 +439,7 @@ bool Scheduler::step() {
       ++metrics_.expired;
       params_.erase(pit);
       qit = queue_.erase(qit);
+      emit_terminal_locked(id, RequestState::kExpired, rec.error);
     } else {
       ++qit;
     }
@@ -472,6 +509,7 @@ bool Scheduler::step() {
     RequestRecord& rec = records_[static_cast<std::size_t>(a.id)];
     rec.tokens.push_back(best);
     if (degraded_step) ++rec.degraded_tokens;
+    emit_token_locked(a.id, best, degraded_step);
     if (cfg_.record_logits) {
       rec.logits.emplace_back(last.begin(), last.end());
     }
@@ -565,6 +603,13 @@ std::size_t Scheduler::in_flight() const {
 bool Scheduler::in_maintenance() const {
   std::lock_guard<std::mutex> lock(m_);
   return in_maintenance_locked();
+}
+
+std::vector<ServeEvent> Scheduler::drain_events() {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<ServeEvent> out;
+  out.swap(events_);
+  return out;
 }
 
 Metrics Scheduler::metrics() const {

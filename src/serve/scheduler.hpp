@@ -104,6 +104,30 @@ struct RequestRecord {
   std::int64_t degraded_tokens = 0;
 };
 
+/// What a ServeEvent describes. Events are the scheduler's push-side
+/// observation stream for a network front end: instead of polling
+/// request() per id per step (O(requests) copies), a server drains the
+/// event log once per step and learns exactly what changed.
+enum class ServeEventKind {
+  kToken,     // one new token was emitted for `id`
+  kTerminal,  // `id` reached a terminal state (state/error filled in)
+  kDiscard,   // a transient failure discarded `id`'s partial output and
+              // requeued it (a streaming server cannot unsend tokens —
+              // it must either have sent none yet, or abort the stream)
+};
+
+/// One observation from step()/submit(). Recorded only when
+/// SchedulerConfig::record_events is set; drained via drain_events().
+struct ServeEvent {
+  ServeEventKind kind = ServeEventKind::kToken;
+  std::int64_t id = -1;
+  std::int64_t step = 0;  // scheduler step the event was recorded at
+  int token = -1;         // kToken: the emitted token id
+  bool degraded = false;  // kToken: emitted via the digital bypass
+  RequestState state = RequestState::kQueued;  // kTerminal: final state
+  ServeError error = ServeError::kNone;        // kTerminal: cause
+};
+
 /// Bounded-exponential-backoff retry for transient conditions
 /// (ServeError::is_transient): KV-pool exhaustion under the reject
 /// policy, and maintenance-window drains under MaintenancePolicy::
@@ -151,6 +175,11 @@ struct SchedulerConfig {
   bool reject_on_pool_full = false;
   /// Keep per-token logits rows in RequestRecord (tests only; memory!).
   bool record_logits = false;
+  /// Record ServeEvents (token emissions, terminal transitions, output
+  /// discards) for drain_events(). A network front end sets this and
+  /// drains after every step; with no drainer the log grows unbounded,
+  /// so it is off by default.
+  bool record_events = false;
   /// Base seed for derived per-request noise streams (and retry jitter).
   std::uint64_t seed = 7102;
   /// Retry/backoff policy for transient conditions.
@@ -236,6 +265,10 @@ class Scheduler {
   /// in-flight decode on the digital bypass).
   bool in_maintenance() const;
 
+  /// Take (and clear) every ServeEvent recorded since the last drain.
+  /// Empty unless config().record_events. Thread-safe, like submit().
+  std::vector<ServeEvent> drain_events();
+
   /// Aggregate metrics snapshot (KV pool fields filled from the pool).
   Metrics metrics() const;
   /// Cheap full cross-section for invariant checking (no logits copies).
@@ -265,6 +298,10 @@ class Scheduler {
   // All helpers below assume m_ is held.
   std::int64_t footprint(const RequestParams& p) const;
   double now_s() const;
+  void emit_token_locked(std::int64_t id, int token, bool degraded);
+  void emit_terminal_locked(std::int64_t id, RequestState state,
+                            ServeError error);
+  void emit_discard_locked(std::int64_t id);
   bool in_maintenance_locked() const { return step_ < maintenance_until_; }
   /// Backoff (incl. keyed jitter) before the given attempt of `id`.
   std::int64_t backoff_steps_locked(std::int64_t id, int attempt) const;
@@ -294,6 +331,7 @@ class Scheduler {
   std::vector<nn::TransformerLM::ServeSegment> segments_;
   std::vector<std::int64_t> cancels_;  // ids flagged since last step
   std::vector<RequestRecord> records_;  // indexed by id
+  std::vector<ServeEvent> events_;    // pending drain_events() payload
   std::vector<double> submit_s_;      // wall submit time per id (epoch-rel)
   Metrics metrics_;
   int busy_since_inspect_ = 0;

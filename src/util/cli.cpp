@@ -14,35 +14,55 @@ Cli::Cli(int argc, char** argv) {
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      values_[arg] = "1";
-    } else {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (key.empty()) {
+      throw std::invalid_argument("Cli: empty flag name in '--" + arg + "'");
     }
+    if (values_.count(key) > 0) {
+      throw std::invalid_argument("Cli: duplicate flag '--" + key +
+                                  "' (given more than once)");
+    }
+    values_[key] = eq == std::string::npos ? "1" : arg.substr(eq + 1);
   }
 }
 
-bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+bool Cli::has(const std::string& key) const {
+  consulted_.insert(key);
+  return values_.count(key) > 0;
+}
 
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  consulted_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  consulted_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::stoll(it->second);
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
+  consulted_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::stod(it->second);
 }
 
 bool Cli::get_flag(const std::string& key, bool fallback) const {
+  consulted_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second != "0" && it->second != "false";
+}
+
+void Cli::check_unknown() const {
+  for (const auto& [key, value] : values_) {
+    if (consulted_.count(key) == 0) {
+      throw std::invalid_argument("Cli: unknown flag '--" + key +
+                                  "' (not accepted by " + program_ + ")");
+    }
+  }
 }
 
 }  // namespace nora::util

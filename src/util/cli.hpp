@@ -1,17 +1,24 @@
 // Minimal command-line option parser for the bench / example binaries.
 //
 // Accepts "--key=value" and "--flag" arguments; everything else is an error
-// so typos in sweep scripts fail loudly.
+// so typos in sweep scripts fail loudly. Giving the same flag twice is an
+// error too (the old behavior silently kept the last value). After a binary
+// has looked up everything it understands, check_unknown() rejects any
+// flag the user passed that nothing ever consumed — the classic silent
+// "--stpes=100" typo.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 namespace nora::util {
 
 class Cli {
  public:
+  /// Throws std::invalid_argument on a malformed argument or on a flag
+  /// given more than once (naming the flag).
   Cli(int argc, char** argv);
 
   bool has(const std::string& key) const;
@@ -20,11 +27,19 @@ class Cli {
   double get_double(const std::string& key, double fallback) const;
   bool get_flag(const std::string& key, bool fallback = false) const;
 
+  /// Throws std::invalid_argument naming the first flag the user passed
+  /// that no has()/get*() call ever asked about. Call once, after all
+  /// lookups — a typoed flag then fails the run instead of silently
+  /// falling back to the default.
+  void check_unknown() const;
+
   const std::string& program() const { return program_; }
 
  private:
   std::string program_;
   std::map<std::string, std::string> values_;
+  /// Every key a lookup asked about (i.e. the binary's flag vocabulary).
+  mutable std::set<std::string> consulted_;
 };
 
 }  // namespace nora::util

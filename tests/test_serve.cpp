@@ -9,7 +9,9 @@
 // mid-serve integrity-monitor hook.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -864,6 +866,86 @@ TEST(Scheduler, ConcurrentCancelRacingStepsNeverDoubleReleases) {
     EXPECT_TRUE(rec.state == RequestState::kCancelled ||
                 rec.state == RequestState::kFinished);
   }
+}
+
+TEST(Scheduler, ConcurrentSubmitAndCancelRacingStepLoop) {
+  // The full thread contract at once: several submitter threads and a
+  // canceller hammer the scheduler WHILE the owning thread runs the
+  // step() loop (not just before it, as the tests above do). Under tsan
+  // this is the data-race probe for the submit/cancel/step locking;
+  // under any build it must end with every request terminal and every
+  // KV lease released exactly once.
+  nn::TransformerLM model(tiny_arch());
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 32;  // bounded: submitters also hit kQueueFull
+  cfg.record_events = true;
+  Scheduler sched(model, cfg);
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerThread = 20;
+  std::atomic<bool> stop{false};
+  std::atomic<int> submitted{0};
+  std::mutex ids_m;
+  std::vector<std::int64_t> ids;
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RequestParams p;
+        p.prompt = {1 + t, 1 + (i % 7), 3};
+        p.max_new_tokens = 4 + (i % 5);
+        const std::int64_t id = sched.submit(std::move(p));
+        ++submitted;
+        {
+          std::lock_guard<std::mutex> lock(ids_m);
+          ids.push_back(id);
+        }
+      }
+    });
+  }
+  std::thread canceller([&] {
+    while (!stop.load()) {
+      std::vector<std::int64_t> snapshot;
+      {
+        std::lock_guard<std::mutex> lock(ids_m);
+        snapshot = ids;
+      }
+      // Cancel a pseudo-random third: enough churn to race retirement.
+      for (std::size_t i = 0; i < snapshot.size(); i += 3) {
+        sched.cancel(snapshot[i]);
+      }
+    }
+  });
+
+  // Step concurrently with the submissions until everything lands.
+  while (submitted.load() < kSubmitters * kPerThread ||
+         sched.in_flight() > 0) {
+    sched.step();
+    sched.drain_events();  // keep the event log bounded, as a server would
+  }
+  stop.store(true);
+  for (auto& t : submitters) t.join();
+  canceller.join();
+  sched.step();  // apply any cancel that landed after the last step
+  sched.drain_events();
+
+  EXPECT_EQ(sched.in_flight(), 0u);
+  EXPECT_EQ(sched.pool().live(), 0u);
+  EXPECT_EQ(sched.pool().used_tokens(), 0);
+  const AuditSnapshot snap = sched.audit_snapshot();
+  EXPECT_EQ(snap.pool_acquires, snap.pool_releases);
+  int terminal = 0;
+  for (const std::int64_t id : ids) {
+    const RequestRecord rec = sched.request(id);
+    EXPECT_TRUE(rec.state == RequestState::kFinished ||
+                rec.state == RequestState::kCancelled ||
+                rec.state == RequestState::kRejected)
+        << "request " << id << " not terminal";
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, kSubmitters * kPerThread);
 }
 
 TEST(ServeMetrics, PercentileAndDumpsAreWellFormed) {

@@ -74,5 +74,45 @@ TEST(Cli, RejectsPositionalArguments) {
   EXPECT_THROW(Cli(2, const_cast<char**>(argv)), std::invalid_argument);
 }
 
+TEST(Cli, RejectsDuplicateFlags) {
+  const char* argv[] = {"prog", "--steps=100", "--steps=200"};
+  try {
+    Cli cli(3, const_cast<char**>(argv));
+    FAIL() << "duplicate flag must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("steps"), std::string::npos);
+  }
+  // A value form and a bare-flag form of the same key also collide.
+  const char* argv2[] = {"prog", "--verbose", "--verbose=true"};
+  EXPECT_THROW(Cli(3, const_cast<char**>(argv2)), std::invalid_argument);
+}
+
+TEST(Cli, CheckUnknownRejectsUnconsultedFlags) {
+  const char* argv[] = {"prog", "--steps=100", "--stpes=200"};
+  Cli cli(3, const_cast<char**>(argv));
+  cli.get_int("steps", 0);
+  try {
+    cli.check_unknown();
+    FAIL() << "unconsulted flag must throw";
+  } catch (const std::invalid_argument& e) {
+    // The error names the typo, not the flag that was understood.
+    EXPECT_NE(std::string(e.what()).find("stpes"), std::string::npos);
+  }
+}
+
+TEST(Cli, CheckUnknownPassesWhenEverythingIsConsulted) {
+  const char* argv[] = {"prog", "--steps=100", "--verbose"};
+  Cli cli(3, const_cast<char**>(argv));
+  cli.get_int("steps", 0);
+  cli.get_flag("verbose");
+  EXPECT_NO_THROW(cli.check_unknown());
+  // has() counts as consultation too: probing is how binaries learn
+  // about optional flags.
+  const char* argv2[] = {"prog", "--maybe=x"};
+  Cli cli2(2, const_cast<char**>(argv2));
+  EXPECT_TRUE(cli2.has("maybe"));
+  EXPECT_NO_THROW(cli2.check_unknown());
+}
+
 }  // namespace
 }  // namespace nora::util

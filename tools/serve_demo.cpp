@@ -10,6 +10,7 @@
 #include "core/nora.hpp"
 #include "eval/evaluator.hpp"
 #include "model/zoo.hpp"
+#include "net/signals.hpp"
 #include "serve/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -22,6 +23,10 @@ int main(int argc, char** argv) {
   const int batch = static_cast<int>(cli.get_int("batch", 4));
   const int n_tokens = static_cast<int>(cli.get_int("tokens", 10));
   const std::int64_t kv_budget = cli.get_int("kv-budget", 96);
+  cli.check_unknown();
+  // Ctrl-C / SIGTERM: stop stepping, cancel what's left, and still print
+  // the lifecycle table + final metrics instead of dying mid-serve.
+  net::install_signal_handlers();
 
   const model::ModelSpec spec = model::spec_by_name(name);
   eval::SynthLambadaConfig task_cfg = spec.task;
@@ -54,9 +59,21 @@ int main(int argc, char** argv) {
 
   int ticks = 0;
   bool busy = true;
+  bool interrupted = false;
   while (busy) {
+    if (net::shutdown_requested() && !interrupted) {
+      // Graceful drain: cancel everything still live; the next steps
+      // retire the batch and release every KV lease before we report.
+      interrupted = true;
+      std::printf("signal received: draining in-flight requests...\n");
+      for (const auto id : ids) sched.cancel(id);
+    }
     busy = sched.step();
     if (++ticks == 3) sched.cancel(ids[2]);  // caller gave up
+  }
+  if (interrupted) {
+    std::printf("drained: %zu requests settled after interrupt\n\n",
+                ids.size());
   }
 
   util::Table table({"id", "state", "queued@", "started@", "finished@",
