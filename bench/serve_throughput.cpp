@@ -86,10 +86,14 @@ RunResult run_saturated(nn::TransformerLM& model,
 }
 
 /// Open-loop: deterministic Poisson arrivals at `load` requests/step.
+/// `streams` (optional) pins each request's noise stream — the prefix
+/// phase uses it to make shared-prompt requests share (or not share) a
+/// stream; null keeps the distinct per-request default.
 RunResult run_poisson(nn::TransformerLM& model,
                       const std::vector<std::vector<int>>& prompts,
                       int max_batch, int n_tokens, double load,
-                      std::uint64_t seed) {
+                      std::uint64_t seed,
+                      const std::vector<std::uint64_t>* streams = nullptr) {
   std::vector<std::int64_t> arrival_step(prompts.size());
   util::Rng rng(seed);
   double t = 0.0;
@@ -109,7 +113,7 @@ RunResult run_poisson(nn::TransformerLM& model,
       serve::RequestParams p;
       p.prompt = prompts[next];
       p.max_new_tokens = n_tokens;
-      p.stream_seed = 2000 + next;
+      p.stream_seed = streams != nullptr ? (*streams)[next] : 2000 + next;
       sched.submit(std::move(p));
       ++next;
     }
@@ -127,6 +131,45 @@ RunResult run_poisson(nn::TransformerLM& model,
           .count();
   r.metrics = sched.metrics();
   return r;
+}
+
+/// 80%-shared-prefix workload: four of every five requests extend one
+/// common prompt head with a short unique tail (a system-prompt / multi-
+/// turn shape); the rest are unique cold prompts. With `reuse` the
+/// shared requests ride one noise stream — the precondition for KV
+/// prefix-cache hits — and without it they get distinct streams, which
+/// makes sharing impossible and gives the no-reuse baseline for the
+/// SAME token workload.
+struct PrefixWorkload {
+  std::vector<std::vector<int>> prompts;
+  std::vector<std::uint64_t> streams;
+};
+
+PrefixWorkload make_prefix_workload(
+    const std::vector<std::vector<int>>& base, std::size_t head_tokens,
+    bool reuse) {
+  PrefixWorkload w;
+  // A long shared head makes the workload prefill-heavy — the shape
+  // where prompt reuse pays. Concatenate base prompts up to the target.
+  std::vector<int> head;
+  for (const auto& b : base) {
+    head.insert(head.end(), b.begin(), b.end());
+    if (head.size() >= head_tokens) break;
+  }
+  if (head.size() > head_tokens) head.resize(head_tokens);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (i % 5 != 0) {  // 80% shared
+      std::vector<int> p = head;
+      p.push_back(head[i % head.size()]);
+      p.push_back(head[(3 * i + 1) % head.size()]);
+      w.prompts.push_back(std::move(p));
+      w.streams.push_back(reuse ? 5000 : 6000 + i);
+    } else {
+      w.prompts.push_back(base[i]);
+      w.streams.push_back(7000 + i);
+    }
+  }
+  return w;
 }
 
 void deploy(nn::TransformerLM& model, const eval::SynthLambada& task,
@@ -221,6 +264,43 @@ int main(int argc, char** argv) {
   std::printf("Poisson open-loop replay (deterministic arrival trace):\n");
   ptable.print();
   ptable.write_csv("results/serve_throughput.csv");
+
+  // --- phase 3: KV prefix-reuse criterion ----------------------------
+  // Same 80%-shared-prefix Poisson workload twice: once with the shared
+  // requests on one noise stream (prefix cache can share their head
+  // rows) and once on distinct streams (sharing impossible). The tokens
+  // generated are the same count, so the decode tok/s ratio is exactly
+  // the wall-time won by not re-prefilling the shared head.
+  // Prefill-heavy shape: shared head as long as max_seq allows after a
+  // short generation, arrivals calm enough that a predecessor usually
+  // retires (publishes) before the next shared request is admitted.
+  const int p3_tokens = smoke ? 6 : 8;
+  const std::size_t head_tokens = static_cast<std::size_t>(
+      task_cfg.seq_len + n_tokens - p3_tokens - 2);
+  const PrefixWorkload pw_cold =
+      make_prefix_workload(prompts, head_tokens, false);
+  const PrefixWorkload pw_warm =
+      make_prefix_workload(prompts, head_tokens, true);
+  deploy(*model, task, threads);
+  const RunResult pcold = run_poisson(*model, pw_cold.prompts, batch,
+                                      p3_tokens, 0.15, /*seed=*/77,
+                                      &pw_cold.streams);
+  deploy(*model, task, threads);
+  const RunResult pwarm = run_poisson(*model, pw_warm.prompts, batch,
+                                      p3_tokens, 0.15, /*seed=*/77,
+                                      &pw_warm.streams);
+  const double reuse_speedup =
+      pcold.tokens_per_s() > 0.0 ? pwarm.tokens_per_s() / pcold.tokens_per_s()
+                                 : 0.0;
+  std::printf(
+      "\n80%%-shared-prefix Poisson workload: no-reuse %.1f tok/s, "
+      "prefix-reuse %.1f tok/s (%.2fx), %lld hits / %lld warm tokens, "
+      "%lld published\n",
+      pcold.tokens_per_s(), pwarm.tokens_per_s(), reuse_speedup,
+      static_cast<long long>(pwarm.metrics.kv_prefix_hits),
+      static_cast<long long>(pwarm.metrics.kv_prefix_hit_tokens),
+      static_cast<long long>(pwarm.metrics.kv_prefix_published));
+
   std::printf("\nbatched metrics (saturation run):\n%s\n",
               bat.metrics.to_json().c_str());
 
@@ -230,6 +310,16 @@ int main(int argc, char** argv) {
     std::printf("FAIL: batching changed request outputs — the per-request "
                 "noise-stream keying is broken.\n");
   }
+  // Prefix reuse is a structural win (skipped prefill passes), so the
+  // criterion holds at any thread count; no-reuse on the same workload
+  // must also have produced zero hits, or the baseline is not cold.
+  const bool reuse_ok = reuse_speedup >= 1.5 &&
+                        pwarm.metrics.kv_prefix_hits > 0 &&
+                        pcold.metrics.kv_prefix_hits == 0;
+  std::printf("prefix-reuse criterion (>= 1.5x decode tok/s on the "
+              "80%%-shared workload): %s\n",
+              reuse_ok ? "PASS" : "FAIL");
+  ok = ok && reuse_ok;
   if (threads >= 4) {
     const bool fast = speedup >= 2.0 && bat.metrics.mean_occupancy() >= 4.0;
     std::printf("throughput criterion (>= 2.0x at occupancy >= 4, %d "

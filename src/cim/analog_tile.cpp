@@ -4,6 +4,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+#include "util/simd_kernels.hpp"
+
 namespace nora::cim {
 
 AnalogTile::AnalogTile(const Matrix& w_slice, const TileConfig& cfg,
@@ -307,8 +310,23 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
   // sequence — every output bit matches the one-column-at-a-time loop.
   const float* wbase = w_hat_t_effective_.data();
   const std::size_t n = static_cast<std::size_t>(rows_);
+  // Kernel dispatch, resolved once per process: the AVX2 kernels run the
+  // identical per-column op sequence (including the compiled FMA
+  // contractions) on eight columns at a time, so every output bit matches
+  // the scalar loops below; finish_col still runs in ascending j order,
+  // which keeps the prefilled noise-draw consumption order unchanged.
+  const bool use_avx2 = util::simd::use_avx2();
   std::int64_t j = 0;
   if (use_ir) {
+    if (use_avx2) {
+      const float kappa = ir_drop_.kappa();
+      for (; j + 8 <= cols_; j += 8) {
+        float acc8[8];
+        util::simd::ir_fused8_avx2(wbase + j * rows_, rows_, x_hat.data(), n,
+                                   kappa, acc8);
+        for (int t = 0; t < 8; ++t) finish_col(j + t, acc8[t]);
+      }
+    }
     for (; j + 4 <= cols_; j += 4) {
       float acc4[4];
       ir_drop_.accumulate_columns_fused4(wbase + j * rows_,
@@ -322,6 +340,14 @@ bool AnalogTile::mvm(std::span<const float> x_hat, float x_hat_l2, float alpha,
       finish_col(j + 3, acc4[3]);
     }
   } else {
+    if (use_avx2) {
+      for (; j + 8 <= cols_; j += 8) {
+        float acc8[8];
+        util::simd::mvm_dot8_avx2(wbase + j * rows_, rows_, x_hat.data(), n,
+                                  acc8);
+        for (int t = 0; t < 8; ++t) finish_col(j + t, acc8[t]);
+      }
+    }
     for (; j + 4 <= cols_; j += 4) {
       const float* w0 = wbase + j * rows_;
       const float* w1 = wbase + (j + 1) * rows_;

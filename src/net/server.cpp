@@ -408,6 +408,22 @@ void HttpServer::dispatch_completion(Conn& c, std::int64_t now_ms) {
   params.deadline_steps = parsed.value.get_int("deadline_steps", 0);
   params.stream_seed = static_cast<std::uint64_t>(
       parsed.value.get_int("stream_seed", 0));
+  if (params.stream_seed == 0 && cfg_.fingerprint_streams) {
+    // Derive the noise stream from the prompt head (FNV-1a) so repeat
+    // prompts and multi-turn continuations share a stream — the
+    // precondition for a KV prefix-cache hit. 0 stays reserved as the
+    // "derive from request id" sentinel, so force the top bit.
+    std::uint64_t h = 1469598103934665603ull;
+    const std::size_t k = std::min(
+        params.prompt.size(),
+        static_cast<std::size_t>(std::max(cfg_.fingerprint_tokens, 1)));
+    for (std::size_t i = 0; i < k; ++i) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+          params.prompt[i]));
+      h *= 1099511628211ull;
+    }
+    params.stream_seed = h | (1ull << 63);
+  }
   const bool stream = parsed.value.get_bool("stream", true);
 
   const std::int64_t id = sched_.submit(std::move(params));

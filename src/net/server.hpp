@@ -104,6 +104,18 @@ struct ServerConfig {
   /// harness (the chaos soak) owns the step loop.
   bool step_scheduler = true;
   bool force_poll = false;  // use the poll(2) path even where epoll exists
+  /// Requests that do not pass an explicit "stream_seed" get one derived
+  /// from a fingerprint of their prompt's leading tokens instead of the
+  /// scheduler's per-request-id default. Same prompt head -> same noise
+  /// stream, which is what makes the KV prefix cache hit across HTTP
+  /// requests (the pool only shares rows between requests on the same
+  /// stream — see serve::KvCachePool). Clients that want statistically
+  /// independent replays of the same prompt pass their own seeds.
+  bool fingerprint_streams = true;
+  /// Leading prompt tokens hashed into the fingerprint. Prompts agreeing
+  /// on this many head tokens land on the same stream; the pool then
+  /// shares exactly their common prefix.
+  int fingerprint_tokens = 16;
 };
 
 class HttpServer {

@@ -171,14 +171,20 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
     if (seq.cache == nullptr || seq.rows <= 0) {
       throw std::invalid_argument("attention forward_serve: bad segment");
     }
+    if (seq.base_rows < 0 || seq.base_rows > seq.pos0 ||
+        (seq.base_rows > 0) != (seq.base != nullptr) ||
+        (seq.base != nullptr && (seq.base->k.rows() < seq.base_rows ||
+                                 seq.base->k.cols() != d_model_))) {
+      throw std::invalid_argument("attention forward_serve: bad prefix base");
+    }
     if (seq.pos0 + seq.rows > max_seq_) {
       throw std::invalid_argument(
           "attention[" + name_ + "]: cached sequence length " +
           std::to_string(seq.pos0 + seq.rows) + " exceeds max_seq " +
           std::to_string(max_seq_));
     }
-    if (seq.cache->k.rows() != seq.pos0 ||
-        (seq.pos0 > 0 && seq.cache->k.cols() != d_model_)) {
+    if (seq.base_rows + seq.cache->k.rows() != seq.pos0 ||
+        (seq.pos0 - seq.base_rows > 0 && seq.cache->k.cols() != d_model_)) {
       throw std::invalid_argument("attention forward_serve: cache out of sync");
     }
     r0[static_cast<std::size_t>(s)] = total;
@@ -200,12 +206,16 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
       c.k = Matrix(0, d_model_);
       c.v = Matrix(0, d_model_);
     }
-    c.k.resize_rows(seq.pos0 + seq.rows);
-    c.v.resize_rows(seq.pos0 + seq.rows);
+    // Appends land in the PRIVATE cache at local row (global - base):
+    // the shared base is never written, so a request diverging from its
+    // leased prefix copies nothing and clobbers nobody.
+    const std::int64_t local0 = seq.pos0 - seq.base_rows;
+    c.k.resize_rows(local0 + seq.rows);
+    c.v.resize_rows(local0 + seq.rows);
     for (std::int64_t t = 0; t < seq.rows; ++t) {
       const auto row = qkv.row(r0[static_cast<std::size_t>(s)] + t);
-      auto kr = c.k.row(seq.pos0 + t);
-      auto vr = c.v.row(seq.pos0 + t);
+      auto kr = c.k.row(local0 + t);
+      auto vr = c.v.row(local0 + t);
       for (std::int64_t cc = 0; cc < d_model_; ++cc) {
         kr[cc] = row[d_model_ + cc];
         vr[cc] = row[2 * d_model_ + cc];
@@ -225,6 +235,14 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
         const AttnServeSeq& seq = seqs[static_cast<std::size_t>(s)];
         const Matrix& ks = seq.cache->k;
         const Matrix& vs = seq.cache->v;
+        // Two-range history: global rows [0, br) come from the shared
+        // base, the rest from the private cache at j - br. The j order,
+        // math and accumulation are exactly the unshared loop's, so a
+        // prefix hit is bit-identical to the cold run that would have
+        // recomputed those rows (they ARE the cold run's rows).
+        const std::int64_t br = seq.base_rows;
+        const Matrix& bk = seq.base != nullptr ? seq.base->k : ks;
+        const Matrix& bv = seq.base != nullptr ? seq.base->v : vs;
         const std::int64_t off = h * d_head_;
         thread_local std::vector<float> probs;
         const auto bias = rel_bias_.value.row(h);
@@ -234,7 +252,7 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
           probs.assign(static_cast<std::size_t>(gi) + 1, 0.0f);
           float row_max = -1e30f;
           for (std::int64_t j = 0; j <= gi; ++j) {
-            const auto kj = ks.row(j);
+            const auto kj = j < br ? bk.row(j) : ks.row(j - br);
             float sc = 0.0f;
             for (std::int64_t c = 0; c < d_head_; ++c) {
               sc += qi[off + c] * kj[off + c];
@@ -252,7 +270,7 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
           auto oi = concat.row(r0[static_cast<std::size_t>(s)] + i);
           for (std::int64_t j = 0; j <= gi; ++j) {
             const float p = probs[static_cast<std::size_t>(j)] * inv;
-            const auto vj = vs.row(j);
+            const auto vj = j < br ? bv.row(j) : vs.row(j - br);
             for (std::int64_t c = 0; c < d_head_; ++c) {
               oi[off + c] += p * vj[off + c];
             }

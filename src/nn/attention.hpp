@@ -17,10 +17,21 @@ namespace nora::nn {
 
 /// One sequence's slice of a batched serving forward: `rows` new rows
 /// of the input matrix belong to the sequence whose per-layer cache is
-/// `cache`, starting at global position pos0 (== the cache's current
-/// length). Segments are concatenated in input-row order.
+/// `cache`, starting at GLOBAL position pos0. Segments are concatenated
+/// in input-row order.
+///
+/// Cross-request prefix sharing splits the sequence's K/V history into
+/// two ranges: global positions [0, base_rows) live in the immutable
+/// shared `base` (a retired request's published rows — never written),
+/// and positions [base_rows, pos0) in the request's own `cache` at
+/// local row j - base_rows. All appends go to the private cache, so
+/// divergence from the shared prefix is copy-on-write by construction.
+/// base == nullptr / base_rows == 0 is the ordinary unshared case, with
+/// pos0 == cache->k.rows().
 struct AttnServeSeq {
   KvCache::BlockCache* cache = nullptr;
+  const KvCache::BlockCache* base = nullptr;
+  std::int64_t base_rows = 0;
   std::int64_t pos0 = 0;
   std::int64_t rows = 0;
 };

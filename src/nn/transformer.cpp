@@ -160,13 +160,25 @@ Matrix TransformerLM::forward_serve(std::span<const ServeSegment> segments) {
     if (seg.cache == nullptr || seg.tokens.empty()) {
       throw std::invalid_argument("forward_serve: bad segment");
     }
+    if (seg.base_len < 0 || (seg.base_len > 0) != (seg.base != nullptr)) {
+      throw std::invalid_argument("forward_serve: bad prefix base");
+    }
+    if (seg.base != nullptr &&
+        (seg.base->length < seg.base_len ||
+         seg.base->blocks.size() != blocks_.size())) {
+      throw std::invalid_argument("forward_serve: prefix base out of sync");
+    }
     const std::int64_t t_new = static_cast<std::int64_t>(seg.tokens.size());
-    const std::int64_t pos0 = seg.cache->length;
+    // Global position: shared prefix rows + the private cache's rows.
+    const std::int64_t pos0 = seg.base_len + seg.cache->length;
     if (pos0 + t_new > cfg_.max_seq) {
       throw KvCacheOverflow(pos0, t_new, cfg_.max_seq, "model max_seq");
     }
-    if (seg.cache->capacity > 0 && pos0 + t_new > seg.cache->capacity) {
-      throw KvCacheOverflow(pos0, t_new, seg.cache->capacity,
+    // The capacity guard is on the PRIVATE slab: that is what the pool
+    // leased (the shared rows are budgeted with their own entry).
+    if (seg.cache->capacity > 0 &&
+        seg.cache->length + t_new > seg.cache->capacity) {
+      throw KvCacheOverflow(seg.cache->length, t_new, seg.cache->capacity,
                             "cache capacity");
     }
     if (seg.cache->blocks.empty()) {
@@ -195,7 +207,10 @@ Matrix TransformerLM::forward_serve(std::span<const ServeSegment> segments) {
   std::int64_t r = 0;
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const ServeSegment& seg = segments[s];
-    const std::int64_t pos0 = seg.cache->length;
+    // Positions and keys are GLOBAL (prefix included), so the rows this
+    // segment computes are bit-identical to the cold run that would
+    // have recomputed the shared prefix itself.
+    const std::int64_t pos0 = seg.base_len + seg.cache->length;
     for (std::size_t t = 0; t < seg.tokens.size(); ++t) {
       const std::int64_t pos = pos0 + static_cast<std::int64_t>(t);
       auto xr = x.row(r);
@@ -206,11 +221,15 @@ Matrix TransformerLM::forward_serve(std::span<const ServeSegment> segments) {
                                            static_cast<std::uint64_t>(pos)};
       ++r;
     }
-    seqs[s] = {nullptr, pos0, static_cast<std::int64_t>(seg.tokens.size())};
+    seqs[s] = {nullptr, nullptr, seg.base_len, pos0,
+               static_cast<std::int64_t>(seg.tokens.size())};
   }
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
     for (std::size_t s = 0; s < segments.size(); ++s) {
       seqs[s].cache = &segments[s].cache->blocks[l];
+      seqs[s].base = segments[s].base != nullptr
+                         ? &segments[s].base->blocks[l]
+                         : nullptr;
     }
     x = blocks_[l].forward_serve(x, seqs, keys);
   }

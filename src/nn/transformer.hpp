@@ -67,8 +67,16 @@ class TransformerLM {
   /// One request's slice of a batched serving step.
   struct ServeSegment {
     std::span<const int> tokens;    // new tokens (prefill chunk or 1 decode)
-    KvCache* cache = nullptr;       // the request's cache (positions so far)
+    KvCache* cache = nullptr;       // the request's PRIVATE cache
     std::uint64_t stream = 0;       // request noise-stream key
+    /// Shared immutable prefix (a KvCachePool publication): the first
+    /// base_len global positions are read from `base` and never
+    /// recomputed or written; the private cache holds positions
+    /// base_len.. at local row (global - base_len). Requires the same
+    /// stream the base's rows were computed under, or the per-row noise
+    /// keys — and therefore the logits — would differ from a cold run.
+    const KvCache* base = nullptr;
+    std::int64_t base_len = 0;
   };
 
   /// Continuous-batching serving forward: run every segment's new

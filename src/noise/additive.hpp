@@ -7,7 +7,9 @@
 // is exactly the lever NORA pulls.
 #pragma once
 
+#include <cmath>
 #include <span>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 
@@ -15,7 +17,11 @@ namespace nora::noise {
 
 class AdditiveGaussian {
  public:
-  explicit AdditiveGaussian(float sigma = 0.0f) : sigma_(sigma) {}
+  explicit AdditiveGaussian(float sigma = 0.0f) : sigma_(sigma) {
+    if (!std::isfinite(sigma) || sigma < 0.0f) {
+      throw std::invalid_argument("AdditiveGaussian: sigma must be finite and >= 0");
+    }
+  }
 
   bool enabled() const { return sigma_ > 0.0f; }
   float sigma() const { return sigma_; }

@@ -13,6 +13,9 @@
 // residual error comes from per-device spread around the mean.
 #pragma once
 
+#include <cmath>
+#include <stdexcept>
+
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -28,7 +31,18 @@ struct DriftConfig {
 
 class PcmDriftModel {
  public:
-  explicit PcmDriftModel(const DriftConfig& cfg = {}) : cfg_(cfg) {}
+  explicit PcmDriftModel(const DriftConfig& cfg = {}) : cfg_(cfg) {
+    if (!std::isfinite(cfg.nu_mean) || !std::isfinite(cfg.nu_sigma) ||
+        !std::isfinite(cfg.t0) || !std::isfinite(cfg.sigma_1f)) {
+      throw std::invalid_argument("PcmDriftModel: non-finite drift parameter");
+    }
+    if (cfg.nu_sigma < 0.0f || cfg.sigma_1f < 0.0f) {
+      throw std::invalid_argument("PcmDriftModel: negative noise scale");
+    }
+    if (cfg.t0 <= 0.0f) {
+      throw std::invalid_argument("PcmDriftModel: t0 must be > 0");
+    }
+  }
 
   const DriftConfig& config() const { return cfg_; }
 

@@ -1,10 +1,14 @@
 #include "noise/ir_drop.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace nora::noise {
 
 IrDropModel::IrDropModel(float scale, int n_rows) : scale_(scale), n_rows_(n_rows) {
+  if (!std::isfinite(scale)) {
+    throw std::invalid_argument("IrDropModel: scale must be finite");
+  }
   if (scale < 0.0f) throw std::invalid_argument("IrDropModel: scale must be >= 0");
   if (n_rows <= 0) throw std::invalid_argument("IrDropModel: n_rows must be > 0");
   kappa_ = kBaseDrop * scale_ * static_cast<float>(n_rows_) / 512.0f;

@@ -13,6 +13,9 @@
 // i.e. (0.010539, 0.078600, -0.046924) in normalized units.
 #pragma once
 
+#include <cmath>
+#include <stdexcept>
+
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -21,7 +24,11 @@ namespace nora::noise {
 class ProgrammingNoise {
  public:
   /// scale = 0 disables; scale = 1 is the nominal PCM model.
-  explicit ProgrammingNoise(float scale = 0.0f) : scale_(scale) {}
+  explicit ProgrammingNoise(float scale = 0.0f) : scale_(scale) {
+    if (!std::isfinite(scale) || scale < 0.0f) {
+      throw std::invalid_argument("ProgrammingNoise: scale must be finite and >= 0");
+    }
+  }
 
   bool enabled() const { return scale_ > 0.0f; }
   float scale() const { return scale_; }

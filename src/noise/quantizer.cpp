@@ -1,11 +1,18 @@
 #include "noise/quantizer.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace nora::noise {
 
 UniformQuantizer::UniformQuantizer(float steps, float bound)
     : steps_(steps), bound_(bound) {
+  // `steps < 0.0f` is false for NaN, so a NaN config would silently pass
+  // every range check below and poison downstream MVMs; reject non-finite
+  // parameters outright.
+  if (!std::isfinite(steps) || !std::isfinite(bound)) {
+    throw std::invalid_argument("UniformQuantizer: non-finite parameter");
+  }
   if (steps < 0.0f) throw std::invalid_argument("UniformQuantizer: negative steps");
   if (steps > 0.0f && steps < 2.0f) {
     throw std::invalid_argument("UniformQuantizer: needs at least 2 steps");

@@ -31,6 +31,16 @@ class UniformQuantizer {
   float bound() const { return bound_; }
   float step_size() const { return enabled() ? 2.0f * bound_ / steps_ : 0.0f; }
 
+  /// round-half-away-from-zero without the roundf libcall: trunc maps to
+  /// a single rounding instruction, and for |y| < 2^24 both y - t and
+  /// t ± 1 are exact, so this returns std::round(y)'s bits for every
+  /// float (|y| >= 2^24 is already integral). The ADC path calls this
+  /// once per column per MVM, where a PLT call is measurable.
+  static float round_half_away(float y) {
+    const float t = std::trunc(y);
+    return std::fabs(y - t) >= 0.5f ? t + std::copysign(1.0f, y) : t;
+  }
+
   /// Quantize one value (round-to-nearest level, saturate at +-bound).
   /// Inline: called once per ADC read / DAC sample on the analog hot
   /// path, so an out-of-line call per element is measurable.
@@ -42,7 +52,7 @@ class UniformQuantizer {
     // complement style, with zero always representable. Clamping at +half
     // would admit steps+1 codes, one more than the converter's bit width
     // can encode.
-    float q = std::round(x / bound_ * half);
+    float q = round_half_away(x / bound_ * half);
     q = std::clamp(q, -half, half - 1.0f);
     return q * bound_ / half;
   }

@@ -9,7 +9,9 @@
 // which is what the tile uses for speed. Their equivalence is unit-tested.
 #pragma once
 
+#include <cmath>
 #include <span>
+#include <stdexcept>
 
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
@@ -18,7 +20,11 @@ namespace nora::noise {
 
 class ShortTermReadNoise {
  public:
-  explicit ShortTermReadNoise(float sigma = 0.0f) : sigma_(sigma) {}
+  explicit ShortTermReadNoise(float sigma = 0.0f) : sigma_(sigma) {
+    if (!std::isfinite(sigma) || sigma < 0.0f) {
+      throw std::invalid_argument("ShortTermReadNoise: sigma must be finite and >= 0");
+    }
+  }
 
   bool enabled() const { return sigma_ > 0.0f; }
   float sigma() const { return sigma_; }

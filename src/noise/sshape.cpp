@@ -5,6 +5,9 @@
 namespace nora::noise {
 
 SShapeNonlinearity::SShapeNonlinearity(float k) : k_(k) {
+  if (!std::isfinite(k)) {
+    throw std::invalid_argument("SShapeNonlinearity: k must be finite");
+  }
   if (k < 0.0f) throw std::invalid_argument("SShapeNonlinearity: k must be >= 0");
   if (enabled()) inv_tanh_k_ = 1.0f / std::tanh(k_);
 }

@@ -42,6 +42,28 @@ std::size_t Auditor::audit(const AuditSnapshot& s, bool idle) {
          "live leases " + std::to_string(s.pool_live) + " != running " +
              std::to_string(s.running));
 
+  // --- Prefix-store conservation -------------------------------------
+  // Every granted prefix lease is eventually released exactly once; the
+  // outstanding refcount is the lifetime difference at every step.
+  expect(s.pool_prefix_leases - s.pool_prefix_lease_releases ==
+             s.pool_prefix_refs,
+         step,
+         "prefix lease leak: leases " + std::to_string(s.pool_prefix_leases) +
+             " - releases " + std::to_string(s.pool_prefix_lease_releases) +
+             " != refs " + std::to_string(s.pool_prefix_refs));
+  expect(s.pool_prefix_tokens >= 0 && s.pool_prefix_tokens <= s.pool_budget,
+         step,
+         "prefix store residency out of range: " +
+             std::to_string(s.pool_prefix_tokens));
+  // A running request holds at most one prefix lease.
+  expect(s.pool_prefix_refs <= static_cast<std::int64_t>(s.running), step,
+         "prefix refs " + std::to_string(s.pool_prefix_refs) +
+             " exceed running " + std::to_string(s.running));
+  // Resident store tokens are part of the pool's used tokens.
+  expect(s.pool_prefix_tokens <= s.pool_used, step,
+         "prefix store " + std::to_string(s.pool_prefix_tokens) +
+             " tokens exceed pool used " + std::to_string(s.pool_used));
+
   // --- State conservation --------------------------------------------
   expect(s.states.size() == static_cast<std::size_t>(s.metrics.submitted),
          step,
@@ -131,9 +153,16 @@ std::size_t Auditor::audit(const AuditSnapshot& s, bool idle) {
                std::to_string(s.running));
     expect(n_queued == 0 && n_running == 0, step,
            "idle audit with non-terminal records");
-    expect(s.pool_used == 0, step,
-           "idle pool still holds " + std::to_string(s.pool_used) +
-               " tokens (leaked slab)");
+    // With prefix caching, an idle pool legitimately retains published
+    // prefix rows — but ONLY those: anything above the store's
+    // residency is a leaked slab.
+    expect(s.pool_used == s.pool_prefix_tokens, step,
+           "idle pool holds " + std::to_string(s.pool_used) +
+               " tokens but the prefix store only accounts for " +
+               std::to_string(s.pool_prefix_tokens) + " (leaked slab)");
+    expect(s.pool_prefix_refs == 0, step,
+           "idle pool has " + std::to_string(s.pool_prefix_refs) +
+               " outstanding prefix leases");
     expect(s.pool_live == 0, step,
            "idle pool has " + std::to_string(s.pool_live) + " live leases");
     expect(s.pool_acquires == s.pool_releases, step,

@@ -16,8 +16,14 @@
 //     the per-code reject breakdown sums to `rejected`, and the token
 //     totals (generated, degraded) equal the per-request tallies of
 //     terminal records;
-//   * idle drain: once nothing is queued or running, the pool is empty
-//     (zero leaked slabs) and every request reached a terminal state.
+//   * prefix conservation: granted prefix leases minus their releases
+//     equal the outstanding refcount, each running request holds at
+//     most one lease, and the store's residency stays within the pool's
+//     used tokens;
+//   * idle drain: once nothing is queued or running, the pool holds
+//     exactly the published prefix rows and nothing else (zero leaked
+//     slabs, zero outstanding prefix leases), and every request reached
+//     a terminal state.
 //
 // Violations are collected as human-readable strings rather than thrown,
 // so a soak run reports ALL breakage of a step, then exits nonzero.

@@ -1,5 +1,6 @@
 #include "serve/kv_cache_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nora::serve {
@@ -12,19 +13,78 @@ KvCachePool::KvCachePool(std::int64_t budget_tokens,
   }
 }
 
+std::int64_t KvCachePool::warmed_rows(const Slab& s) {
+  // All per-layer matrices of a slab are reserved together
+  // (TransformerLM::init_cache_blocks), so the first block's K capacity
+  // stands for the whole slab's warmed footprint. A never-used slab has
+  // no blocks yet and counts as cold.
+  if (s.cache == nullptr || s.cache->blocks.empty()) return 0;
+  return s.cache->blocks.front().k.row_capacity();
+}
+
+void KvCachePool::drop_entry_locked(std::size_t idx) {
+  used_ -= static_cast<std::int64_t>(entries_[idx].tokens.size());
+  // Hand the entry's warmed storage back to the slab pool instead of
+  // freeing it: publication moved a slab out of circulation, and this
+  // is where it returns — so the publish/evict churn of steady-state
+  // serving recycles storage exactly like plain release() always did.
+  std::unique_ptr<nn::KvCache> cache = std::move(entries_[idx].cache);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (cache != nullptr) {
+    cache->trim(0);
+    cache->capacity = 0;
+    slabs_.push_back(Slab{std::move(cache), 0});
+  }
+}
+
+void KvCachePool::evict_for_locked(std::int64_t need) {
+  while (used_ + need > budget_) {
+    // LRU among unreferenced entries (dead ones with refs > 0 cannot be
+    // freed yet; dead ones with refs == 0 never linger here).
+    std::size_t victim = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].refs != 0) continue;
+      if (victim == entries_.size() ||
+          entries_[i].stamp < entries_[victim].stamp) {
+        victim = i;
+      }
+    }
+    if (victim == entries_.size()) return;  // nothing evictable
+    ++prefix_evicted_;
+    drop_entry_locked(victim);
+  }
+}
+
 nn::KvCache* KvCachePool::acquire(std::int64_t tokens) {
   if (tokens <= 0) {
     throw std::invalid_argument("KvCachePool::acquire: non-positive lease");
   }
   std::lock_guard<std::mutex> lock(m_);
-  if (used_ + tokens > budget_) return nullptr;
-  Slab* free_slab = nullptr;
-  for (Slab& s : slabs_) {
-    if (s.lease_tokens == 0) {
-      free_slab = &s;
-      break;
-    }
+  if (used_ + tokens > budget_) {
+    // Prefix entries are a cache, leases are demand: demand wins.
+    evict_for_locked(tokens);
+    if (used_ + tokens > budget_) return nullptr;
   }
+  // Best-fit on warmed storage: the smallest free slab whose reserved
+  // rows already cover the request (first-fit handed big warmed slabs
+  // to small requests and then grew cold slabs for the big ones —
+  // avoidable steady-state allocations). With no covering slab, take
+  // the most-warmed one: it needs the least new allocation to grow.
+  Slab* best_cover = nullptr;
+  Slab* most_warmed = nullptr;
+  bool have_free = false;
+  for (Slab& s : slabs_) {
+    if (s.lease_tokens != 0) continue;
+    const std::int64_t w = warmed_rows(s);
+    if (w >= tokens) {
+      if (best_cover == nullptr || w < warmed_rows(*best_cover)) {
+        best_cover = &s;
+      }
+    }
+    if (!have_free || w > warmed_rows(*most_warmed)) most_warmed = &s;
+    have_free = true;
+  }
+  Slab* free_slab = best_cover != nullptr ? best_cover : most_warmed;
   if (free_slab == nullptr) {
     slabs_.push_back(Slab{std::make_unique<nn::KvCache>(), 0});
     free_slab = &slabs_.back();
@@ -52,6 +112,119 @@ void KvCachePool::release(nn::KvCache* cache) {
     }
   }
   throw std::invalid_argument("KvCachePool::release: not a live lease");
+}
+
+KvCachePool::PrefixLease KvCachePool::lease_prefix(
+    std::uint64_t stream, std::span<const int> prompt) {
+  if (prompt.size() < 2) return {};  // a 1-token prompt can share nothing
+  std::lock_guard<std::mutex> lock(m_);
+  for (PrefixEntry& e : entries_) {
+    if (e.stream != stream || e.dead) continue;
+    // Longest common prefix, capped so the request still computes at
+    // least one row itself (the logits feeding its first new token come
+    // from the last prompt position) and at the entry's resident rows.
+    const std::size_t cap =
+        std::min(e.tokens.size(), prompt.size() - 1);
+    std::size_t l = 0;
+    while (l < cap && e.tokens[l] == prompt[l]) ++l;
+    if (l == 0) return {};
+    ++e.refs;
+    e.stamp = ++clock_;
+    ++prefix_leases_;
+    prefix_hit_tokens_ += static_cast<std::int64_t>(l);
+    return {e.cache.get(), static_cast<std::int64_t>(l)};
+  }
+  return {};
+}
+
+void KvCachePool::release_prefix(const nn::KvCache* base) {
+  std::lock_guard<std::mutex> lock(m_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    PrefixEntry& e = entries_[i];
+    if (e.cache.get() != base || e.refs <= 0) continue;
+    --e.refs;
+    ++prefix_lease_releases_;
+    if (e.dead && e.refs == 0) drop_entry_locked(i);
+    return;
+  }
+  throw std::invalid_argument(
+      "KvCachePool::release_prefix: not a referenced entry");
+}
+
+bool KvCachePool::publish_prefix(std::uint64_t stream,
+                                 std::span<const int> prompt,
+                                 nn::KvCache* cache) {
+  std::lock_guard<std::mutex> lock(m_);
+  std::size_t si = slabs_.size();
+  for (std::size_t i = 0; i < slabs_.size(); ++i) {
+    if (slabs_[i].cache.get() == cache && slabs_[i].lease_tokens > 0) {
+      si = i;
+      break;
+    }
+  }
+  if (si == slabs_.size()) {
+    throw std::invalid_argument("KvCachePool::publish_prefix: not a live lease");
+  }
+  // The lease ends here whatever happens below (the Auditor's
+  // acquire/release conservation counts a publish as a release).
+  used_ -= slabs_[si].lease_tokens;
+  slabs_[si].lease_tokens = 0;
+  ++releases_;
+  const std::int64_t keep = static_cast<std::int64_t>(prompt.size());
+  const bool rows_ok = keep > 0 && cache->length >= keep;
+  if (rows_ok) {
+    // Replace any previous entry for this stream — one entry per
+    // stream keeps lookup O(streams) and the store self-limiting.
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].stream != stream) continue;
+      if (entries_[i].refs == 0) {
+        ++prefix_evicted_;
+        drop_entry_locked(i);
+      } else {
+        entries_[i].dead = true;  // freed on its last release
+      }
+      break;
+    }
+  }
+  bool fits = rows_ok;
+  if (fits && used_ + keep > budget_) {
+    evict_for_locked(keep);
+    fits = used_ + keep <= budget_;
+  }
+  if (!fits) {
+    // Cannot publish: recycle the slab exactly like release().
+    cache->trim(0);
+    cache->capacity = 0;
+    return false;
+  }
+  PrefixEntry e;
+  e.stream = stream;
+  e.tokens.assign(prompt.begin(), prompt.end());
+  e.cache = std::move(slabs_[si].cache);
+  e.stamp = ++clock_;
+  slabs_.erase(slabs_.begin() + static_cast<std::ptrdiff_t>(si));
+  e.cache->trim(keep);
+  e.cache->capacity = keep;
+  used_ += keep;
+  if (used_ > high_water_) high_water_ = used_;
+  ++prefix_published_;
+  entries_.push_back(std::move(e));
+  return true;
+}
+
+std::int64_t KvCachePool::invalidate_prefixes() {
+  std::lock_guard<std::mutex> lock(m_);
+  std::int64_t n = 0;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    ++n;
+    ++prefix_invalidated_;
+    if (entries_[i].refs == 0) {
+      drop_entry_locked(i);
+    } else {
+      entries_[i].dead = true;
+    }
+  }
+  return n;
 }
 
 std::int64_t KvCachePool::used_tokens() const {
@@ -86,6 +259,57 @@ std::size_t KvCachePool::live() const {
     if (s.lease_tokens > 0) ++n;
   }
   return n;
+}
+
+std::int64_t KvCachePool::prefix_tokens() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::int64_t n = 0;
+  for (const PrefixEntry& e : entries_) {
+    n += static_cast<std::int64_t>(e.tokens.size());
+  }
+  return n;
+}
+
+std::int64_t KvCachePool::prefix_entries() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return static_cast<std::int64_t>(entries_.size());
+}
+
+std::int64_t KvCachePool::prefix_refs() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::int64_t n = 0;
+  for (const PrefixEntry& e : entries_) n += e.refs;
+  return n;
+}
+
+std::int64_t KvCachePool::prefix_leases() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return prefix_leases_;
+}
+
+std::int64_t KvCachePool::prefix_lease_releases() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return prefix_lease_releases_;
+}
+
+std::int64_t KvCachePool::prefix_hit_tokens() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return prefix_hit_tokens_;
+}
+
+std::int64_t KvCachePool::prefix_published() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return prefix_published_;
+}
+
+std::int64_t KvCachePool::prefix_evicted() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return prefix_evicted_;
+}
+
+std::int64_t KvCachePool::prefix_invalidated() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return prefix_invalidated_;
 }
 
 }  // namespace nora::serve

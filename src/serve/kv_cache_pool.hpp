@@ -1,4 +1,5 @@
-// Bounded pool of KV-cache slabs for the serving layer.
+// Bounded pool of KV-cache slabs for the serving layer, with a
+// cross-request prefix cache.
 //
 // A production server cannot let every request grow an unbounded
 // nn::KvCache: cache memory is THE capacity limit of batched LLM
@@ -8,11 +9,28 @@
 // slab is trimmed and recycled the moment it retires or is cancelled.
 // Slab objects themselves are reused across requests, so steady-state
 // serving does no cache (re)allocation beyond matrix growth.
+//
+// Prefix cache: on analog CIM the KV rows of position i depend only on
+// tokens 0..i and the per-row noise keys (stream, 0..i) — nothing about
+// what comes after. Two requests with the SAME noise stream whose
+// prompts share a prefix therefore share those rows bit-for-bit, and a
+// warm run that reads them from a retired predecessor's slab is
+// indistinguishable from a cold run (property-tested). The pool keeps
+// at most one published (immutable, refcounted) prefix entry per
+// stream; a new request leases the longest common prefix, pays the
+// budget only for its private suffix slab, and NEVER writes the shared
+// rows — divergence is copy-on-write by construction, because all
+// appends go to the private slab. Store entries are LRU-evicted (when
+// unreferenced) under budget pressure, and invalidated wholesale when
+// the analog substrate changes under the server's feet (drift advance,
+// monitor repair actions) — a stale prefix would break the
+// bit-identical-to-cold-run contract.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "nn/kv_cache.hpp"
@@ -22,22 +40,67 @@ namespace nora::serve {
 class KvCachePool {
  public:
   /// budget_tokens: total cached positions the pool may hold across all
-  /// live slabs. bytes_per_token: model-dependent cost of one cached
-  /// position (n_layers * 2 * d_model * sizeof(float)), reported in
-  /// metrics; 0 if unknown.
+  /// live slabs AND published prefix entries. bytes_per_token:
+  /// model-dependent cost of one cached position (n_layers * 2 *
+  /// d_model * sizeof(float)), reported in metrics; 0 if unknown.
   explicit KvCachePool(std::int64_t budget_tokens,
                        std::int64_t bytes_per_token = 0);
 
   /// Lease a slab with capacity `tokens`. Returns nullptr when the
-  /// remaining budget cannot hold it (the caller queues or rejects the
+  /// remaining budget cannot hold it even after evicting every
+  /// unreferenced prefix entry (the caller queues or rejects the
   /// request). The returned cache is empty, with cache->capacity set,
-  /// and stays owned by the pool.
+  /// and stays owned by the pool. Placement is best-fit on warmed
+  /// storage: the free slab whose matrices' reserved row capacity is
+  /// the smallest that already covers `tokens` (so big warmed slabs are
+  /// kept for big requests), else the most-warmed free slab (least new
+  /// allocation), else a fresh slab.
   nn::KvCache* acquire(std::int64_t tokens);
 
   /// Return a leased slab: its contents are trimmed away and the slab
   /// is recycled for the next acquire. Throws std::invalid_argument for
   /// a pointer that is not a live lease of this pool.
   void release(nn::KvCache* cache);
+
+  /// A granted prefix lease: `base` points at an immutable published
+  /// cache whose first `tokens` rows the request may read (base is
+  /// non-null iff tokens > 0). The holder must pair it with exactly one
+  /// release_prefix(base).
+  struct PrefixLease {
+    const nn::KvCache* base = nullptr;
+    std::int64_t tokens = 0;
+  };
+
+  /// Look up the published entry for `stream` and lease the longest
+  /// common prefix of its tokens and `prompt`, capped at prompt.size()
+  /// - 1 (the request must compute at least one row itself to produce
+  /// logits) and at the entry's resident length. A hit pins the entry
+  /// (refcount) against eviction. {} on miss.
+  PrefixLease lease_prefix(std::uint64_t stream, std::span<const int> prompt);
+
+  /// Drop one reference on a leased prefix base. Throws
+  /// std::invalid_argument for a pointer that is not a referenced
+  /// entry. The last release of an invalidated entry frees it.
+  void release_prefix(const nn::KvCache* base);
+
+  /// Retire a leased slab by PUBLISHING its first prompt.size() rows as
+  /// the prefix entry for `stream` (replacing any previous entry for
+  /// that stream), instead of trimming them away. Counts as the lease's
+  /// release either way. Returns false — and recycles the slab exactly
+  /// like release() — when the store cannot fit the entry even after
+  /// evicting unreferenced entries, or the slab holds fewer rows than
+  /// the prompt. Only cold, untainted requests may be published (the
+  /// scheduler enforces that: no degraded tokens, no leased base).
+  bool publish_prefix(std::uint64_t stream, std::span<const int> prompt,
+                      nn::KvCache* cache);
+
+  /// Invalidate every published entry: the analog substrate changed
+  /// (drift advance, re-read / refresh / fallback), so cached rows no
+  /// longer match what a cold run would compute. Unreferenced entries
+  /// are freed immediately; referenced ones are marked dead (in-flight
+  /// readers finish on the old rows — their outputs predate the change)
+  /// and freed on their last release_prefix. Returns entries affected.
+  std::int64_t invalidate_prefixes();
 
   std::int64_t budget_tokens() const { return budget_; }
   std::int64_t bytes_per_token() const { return bytes_per_token_; }
@@ -47,18 +110,49 @@ class KvCachePool {
   std::int64_t high_water_tokens() const;
   /// Live leases.
   std::size_t live() const;
-  /// Lifetime successful acquire() / release() counts. The serve
-  /// Auditor's slab-conservation invariant is
+  /// Lifetime successful acquire() / release() counts (publish_prefix
+  /// counts as a release). The serve Auditor's slab-conservation
+  /// invariant is
   ///   total_acquires - total_releases == live
   /// at every step, and both-equal at idle (zero leaked slabs).
   std::int64_t total_acquires() const;
   std::int64_t total_releases() const;
+
+  /// Prefix-store accounting. Conservation invariants (Auditor):
+  ///   prefix_leases - prefix_lease_releases == prefix_refs   (always)
+  ///   used_tokens == prefix_tokens                           (at idle)
+  std::int64_t prefix_tokens() const;      // resident store tokens
+  std::int64_t prefix_entries() const;     // resident entries (incl. dead)
+  std::int64_t prefix_refs() const;        // outstanding leases
+  std::int64_t prefix_leases() const;      // lifetime lease_prefix hits
+  std::int64_t prefix_lease_releases() const;
+  std::int64_t prefix_hit_tokens() const;  // lifetime tokens served warm
+  std::int64_t prefix_published() const;
+  std::int64_t prefix_evicted() const;     // LRU + replacement evictions
+  std::int64_t prefix_invalidated() const;
 
  private:
   struct Slab {
     std::unique_ptr<nn::KvCache> cache;
     std::int64_t lease_tokens = 0;  // 0 = free
   };
+  /// One published prefix: immutable rows for `tokens` under `stream`.
+  struct PrefixEntry {
+    std::uint64_t stream = 0;
+    std::vector<int> tokens;  // prompt tokens the resident rows encode
+    std::unique_ptr<nn::KvCache> cache;
+    std::int64_t refs = 0;
+    std::int64_t stamp = 0;  // LRU clock (bumped on lease and publish)
+    bool dead = false;       // invalidated while leased
+  };
+
+  // All helpers assume m_ is held.
+  /// Rows the slab's warmed storage can hold without allocating.
+  static std::int64_t warmed_rows(const Slab& s);
+  /// Evict unreferenced entries (LRU first) until `need` extra tokens
+  /// fit in the budget or nothing evictable remains.
+  void evict_for_locked(std::int64_t need);
+  void drop_entry_locked(std::size_t idx);
 
   mutable std::mutex m_;
   std::int64_t budget_ = 0;
@@ -67,7 +161,15 @@ class KvCachePool {
   std::int64_t high_water_ = 0;
   std::int64_t acquires_ = 0;
   std::int64_t releases_ = 0;
+  std::int64_t clock_ = 0;
+  std::int64_t prefix_leases_ = 0;
+  std::int64_t prefix_lease_releases_ = 0;
+  std::int64_t prefix_hit_tokens_ = 0;
+  std::int64_t prefix_published_ = 0;
+  std::int64_t prefix_evicted_ = 0;
+  std::int64_t prefix_invalidated_ = 0;
   std::vector<Slab> slabs_;
+  std::vector<PrefixEntry> entries_;
 };
 
 }  // namespace nora::serve

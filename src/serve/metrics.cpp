@@ -112,6 +112,14 @@ std::string Metrics::to_string() const {
          " KiB)";
   }
   s += "\n";
+  if (kv_prefix_published > 0 || kv_prefix_hits > 0) {
+    s += "  prefix:   " + std::to_string(kv_prefix_hits) + " hits (" +
+         std::to_string(kv_prefix_hit_tokens) + " tokens warm), " +
+         std::to_string(kv_prefix_published) + " published, " +
+         std::to_string(kv_prefix_evicted) + " evicted, " +
+         std::to_string(kv_prefix_invalidated) + " invalidated, " +
+         std::to_string(kv_prefix_tokens) + " tokens resident\n";
+  }
   s += "  monitor:  " + std::to_string(monitor_inspections) +
        " inspections, " + std::to_string(monitor_actions) + " actions\n";
   return s;
@@ -175,6 +183,12 @@ std::string Metrics::to_json() const {
   add_i("kv_used_tokens", kv_used_tokens);
   add_i("kv_high_water_tokens", kv_high_water_tokens);
   add_i("kv_bytes_per_token", kv_bytes_per_token);
+  add_i("kv_prefix_hits", kv_prefix_hits);
+  add_i("kv_prefix_hit_tokens", kv_prefix_hit_tokens);
+  add_i("kv_prefix_tokens", kv_prefix_tokens);
+  add_i("kv_prefix_published", kv_prefix_published);
+  add_i("kv_prefix_evicted", kv_prefix_evicted);
+  add_i("kv_prefix_invalidated", kv_prefix_invalidated);
   add_i("monitor_inspections", monitor_inspections);
   add_i("monitor_actions", monitor_actions, /*comma=*/false);
   s += "}";

@@ -84,6 +84,15 @@ struct Metrics {
   std::int64_t kv_high_water_tokens = 0;
   std::int64_t kv_bytes_per_token = 0;
 
+  // Cross-request prefix cache (see KvCachePool). hits/hit_tokens are
+  // lifetime counters; prefix_tokens is the store's current residency.
+  std::int64_t kv_prefix_hits = 0;        // leases granted
+  std::int64_t kv_prefix_hit_tokens = 0;  // prompt tokens served warm
+  std::int64_t kv_prefix_tokens = 0;      // resident store tokens (now)
+  std::int64_t kv_prefix_published = 0;
+  std::int64_t kv_prefix_evicted = 0;
+  std::int64_t kv_prefix_invalidated = 0;
+
   // Integrity-monitor interaction.
   std::int64_t monitor_inspections = 0;
   std::int64_t monitor_actions = 0;  // rereads + refreshes + fallbacks

@@ -218,8 +218,23 @@ void Scheduler::retire_locked(Active& a, RequestState state) {
   metrics_.generated_tokens += static_cast<std::int64_t>(rec.tokens.size());
   metrics_.degraded_tokens += rec.degraded_tokens;
   if (a.cache != nullptr) {
-    pool_.release(a.cache);
+    // Publish the prompt's KV rows for the next request on this stream —
+    // but only from a COLD, UNTAINTED run: a leased base means the slab
+    // lacks the prefix rows, and any digital-bypass token means some
+    // rows came off the fp32 path and would break the bit-identical-to-
+    // cold-run contract for a future reader.
+    const bool publish = state == RequestState::kFinished &&
+                         a.base == nullptr && rec.degraded_tokens == 0;
+    if (publish) {
+      pool_.publish_prefix(rec.stream, a.origin.prompt, a.cache);
+    } else {
+      pool_.release(a.cache);
+    }
     a.cache = nullptr;
+  }
+  if (a.base != nullptr) {
+    pool_.release_prefix(a.base);
+    a.base = nullptr;
   }
   switch (state) {
     case RequestState::kFinished: ++metrics_.finished; break;
@@ -245,6 +260,10 @@ void Scheduler::requeue_locked(Active& a) {
   if (a.cache != nullptr) {
     pool_.release(a.cache);
     a.cache = nullptr;
+  }
+  if (a.base != nullptr) {
+    pool_.release_prefix(a.base);
+    a.base = nullptr;
   }
   ++metrics_.retries;
   Pending p;
@@ -287,8 +306,15 @@ bool Scheduler::admit_locked() {
       ++qi;  // still backing off; younger requests may overtake
       continue;
     }
-    nn::KvCache* cache = pool_.acquire(footprint(pit->params));
+    // Prefix lease first: a hit shrinks both the prefill (only the
+    // suffix is computed) and the private slab the budget must cover.
+    // The request's own stream key is what makes the shared rows
+    // bit-identical to the prefill it skips.
+    const KvCachePool::PrefixLease pl =
+        pool_.lease_prefix(rec.stream, pit->params.prompt);
+    nn::KvCache* cache = pool_.acquire(footprint(pit->params) - pl.tokens);
     if (cache == nullptr) {
+      if (pl.base != nullptr) pool_.release_prefix(pl.base);
       if (!cfg_.reject_on_pool_full) {
         // FIFO: wait for retirements to free budget rather than letting
         // a smaller request overtake the head of the queue.
@@ -333,9 +359,15 @@ bool Scheduler::admit_locked() {
     Active a;
     a.id = id;
     a.cache = cache;
+    a.base = pl.base;
+    a.base_len = pl.tokens;
     a.attempt = pit->attempt;
     a.origin = std::move(pit->params);
-    a.pending.assign(a.origin.prompt.begin(), a.origin.prompt.end());
+    // Prefill only the suffix past the shared prefix; its rows join the
+    // leased base rows to form the full global history.
+    a.pending.assign(a.origin.prompt.begin() +
+                         static_cast<std::ptrdiff_t>(a.base_len),
+                     a.origin.prompt.end());
     a.remaining = a.origin.max_new_tokens;
     a.deadline_step = a.origin.deadline_steps > 0
                           ? rec.submit_step + a.origin.deadline_steps
@@ -475,7 +507,9 @@ bool Scheduler::step() {
   for (Active& a : running_) {
     segments_.push_back({std::span<const int>(a.pending),
                          a.cache,
-                         records_[static_cast<std::size_t>(a.id)].stream});
+                         records_[static_cast<std::size_t>(a.id)].stream,
+                         a.base,
+                         a.base_len});
   }
   lock.unlock();
   const auto t0 = std::chrono::steady_clock::now();
@@ -524,9 +558,11 @@ bool Scheduler::step() {
     --a.remaining;
     // Done when the token budget is spent or the next decode step could
     // not fit (its input token would overflow cache capacity / max_seq).
-    const std::int64_t next_len = a.cache->length + 1;
-    const bool full = next_len > model_.config().max_seq ||
-                      (a.cache->capacity > 0 && next_len > a.cache->capacity);
+    // The model ceiling counts the shared prefix; the slab capacity is
+    // private rows only (that is all the pool leased).
+    const bool full =
+        a.base_len + a.cache->length + 1 > model_.config().max_seq ||
+        (a.cache->capacity > 0 && a.cache->length + 1 > a.cache->capacity);
     if (a.remaining <= 0 || full) {
       retire_locked(a, RequestState::kFinished);
     } else {
@@ -549,14 +585,25 @@ bool Scheduler::step() {
     if (++busy_since_inspect_ >= cfg_.inspect_every) {
       busy_since_inspect_ = 0;
       std::int64_t actions = 0;
+      bool substrate_changed = false;
       if (dt_accum_s_ > 0.0) {
         actions += cfg_.monitor->advance_to(
             cfg_.monitor->now() + static_cast<float>(dt_accum_s_));
         dt_accum_s_ = 0.0;
+        // Advancing the drift clock changes the tile conductances a
+        // cold run would see — even when no escalation fires.
+        substrate_changed = true;
       }
       ++metrics_.monitor_inspections;
       actions += cfg_.monitor->inspect();
       metrics_.monitor_actions += actions;
+      if (actions > 0) substrate_changed = true;
+      if (substrate_changed) {
+        // Published prefix rows predate the change: a future lease
+        // would no longer be bit-identical to its cold run. Readers
+        // already holding a lease keep their (pre-change) rows.
+        pool_.invalidate_prefixes();
+      }
       if (actions > 0 && cfg_.maintenance_window_steps > 0) {
         open_maintenance_locked();
       }
@@ -612,11 +659,23 @@ std::vector<ServeEvent> Scheduler::drain_events() {
   return out;
 }
 
+namespace {
+void fill_prefix_metrics(const KvCachePool& pool, Metrics& m) {
+  m.kv_prefix_hits = pool.prefix_leases();
+  m.kv_prefix_hit_tokens = pool.prefix_hit_tokens();
+  m.kv_prefix_tokens = pool.prefix_tokens();
+  m.kv_prefix_published = pool.prefix_published();
+  m.kv_prefix_evicted = pool.prefix_evicted();
+  m.kv_prefix_invalidated = pool.prefix_invalidated();
+}
+}  // namespace
+
 Metrics Scheduler::metrics() const {
   std::lock_guard<std::mutex> lock(m_);
   Metrics m = metrics_;
   m.kv_used_tokens = pool_.used_tokens();
   m.kv_high_water_tokens = pool_.high_water_tokens();
+  fill_prefix_metrics(pool_, m);
   return m;
 }
 
@@ -638,11 +697,16 @@ AuditSnapshot Scheduler::audit_snapshot() const {
   s.metrics = metrics_;
   s.metrics.kv_used_tokens = pool_.used_tokens();
   s.metrics.kv_high_water_tokens = pool_.high_water_tokens();
+  fill_prefix_metrics(pool_, s.metrics);
   s.pool_budget = pool_.budget_tokens();
   s.pool_used = pool_.used_tokens();
   s.pool_live = static_cast<std::int64_t>(pool_.live());
   s.pool_acquires = pool_.total_acquires();
   s.pool_releases = pool_.total_releases();
+  s.pool_prefix_tokens = pool_.prefix_tokens();
+  s.pool_prefix_refs = pool_.prefix_refs();
+  s.pool_prefix_leases = pool_.prefix_leases();
+  s.pool_prefix_lease_releases = pool_.prefix_lease_releases();
   return s;
 }
 

@@ -225,6 +225,13 @@ struct AuditSnapshot {
   std::int64_t pool_live = 0;
   std::int64_t pool_acquires = 0;
   std::int64_t pool_releases = 0;
+  // Prefix-store conservation (see KvCachePool): at every step
+  //   pool_prefix_leases - pool_prefix_lease_releases == pool_prefix_refs
+  // and at idle the pool's used tokens are exactly the resident store.
+  std::int64_t pool_prefix_tokens = 0;
+  std::int64_t pool_prefix_refs = 0;
+  std::int64_t pool_prefix_leases = 0;
+  std::int64_t pool_prefix_lease_releases = 0;
 };
 
 /// FIFO queue + continuous batcher. All public methods are thread-safe;
@@ -280,7 +287,12 @@ class Scheduler {
  private:
   struct Active {
     std::int64_t id = -1;
-    nn::KvCache* cache = nullptr;  // leased from pool_ while running
+    nn::KvCache* cache = nullptr;  // private slab leased from pool_
+    /// Shared prefix leased from the pool's prefix store: the first
+    /// base_len prompt tokens' KV rows are read from `base` instead of
+    /// being prefilled. Held (refcounted) until retire/requeue.
+    const nn::KvCache* base = nullptr;
+    std::int64_t base_len = 0;
     std::vector<int> pending;      // tokens to feed next step
     int remaining = 0;             // new tokens still to emit
     std::int64_t deadline_step = -1;  // absolute; -1 = none

@@ -59,6 +59,13 @@ class Matrix {
   /// Pre-allocate storage for up to `rows` rows (shape unchanged), so
   /// later resize_rows calls up to that limit never allocate.
   void reserve_rows(std::int64_t rows);
+  /// Rows the underlying storage can hold without reallocating — the
+  /// high-water mark reserve_rows/resize_rows have warmed up. This is
+  /// what KvCachePool's best-fit placement matches leases against.
+  std::int64_t row_capacity() const {
+    return cols_ > 0 ? static_cast<std::int64_t>(data_.capacity()) / cols_
+                     : 0;
+  }
 
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;

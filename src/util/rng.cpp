@@ -1,7 +1,11 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/simd.hpp"
+#include "util/simd_kernels.hpp"
 
 namespace nora::util {
 
@@ -141,19 +145,36 @@ void Rng::gaussian_fill(std::span<float> out, double mean, double stddev) {
     has_cached_gauss_ = false;
     out[i++] = static_cast<float>(mean + stddev * cached_gauss_);
   }
+  // Generate raw standard normals into a chunk buffer, then scale/convert
+  // through the dispatched kernel. The raw pair values (r*cos, r*sin) are
+  // the identical single-rounded products the fused expression formed, and
+  // the convert is the fma the compiler contracts `mean + stddev*g` into,
+  // so chunking changes no output bit on either dispatch path.
+  double raw[256];
   while (i + 1 < n) {
-    double u1 = 0.0;
-    do {
-      u1 = uniform();
-    } while (u1 <= 1e-300);
-    const double u2 = uniform();
-    const double r = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * M_PI * u2;
-    double sin_t = 0.0, cos_t = 0.0;
-    ::sincos(theta, &sin_t, &cos_t);  // same bits as sin/cos, one call
-    out[i] = static_cast<float>(mean + stddev * (r * cos_t));
-    out[i + 1] = static_cast<float>(mean + stddev * (r * sin_t));
-    i += 2;
+    const std::size_t m = std::min<std::size_t>(
+        sizeof(raw) / sizeof(raw[0]), ((n - i) / 2) * 2);
+    for (std::size_t p = 0; p < m; p += 2) {
+      double u1 = 0.0;
+      do {
+        u1 = uniform();
+      } while (u1 <= 1e-300);
+      const double u2 = uniform();
+      const double r = std::sqrt(-2.0 * std::log(u1));
+      const double theta = 2.0 * M_PI * u2;
+      double sin_t = 0.0, cos_t = 0.0;
+      ::sincos(theta, &sin_t, &cos_t);  // same bits as sin/cos, one call
+      raw[p] = r * cos_t;
+      raw[p + 1] = r * sin_t;
+    }
+    if (simd::use_avx2()) {
+      simd::scale_convert_avx2(out.data() + i, raw, m, mean, stddev);
+    } else {
+      for (std::size_t p = 0; p < m; ++p) {
+        out[i + p] = static_cast<float>(std::fma(stddev, raw[p], mean));
+      }
+    }
+    i += m;
   }
   if (i < n) out[i] = static_cast<float>(gaussian(mean, stddev));
 }

@@ -1,0 +1,44 @@
+#include "util/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace nora::util::simd {
+
+namespace {
+
+Isa resolve() {
+  // Explicit override first: NORA_FORCE_SCALAR=1 (or any non-empty value
+  // other than "0") pins the scalar reference kernels.
+  if (const char* force = std::getenv("NORA_FORCE_SCALAR");
+      force != nullptr && *force != '\0' && std::strcmp(force, "0") != 0) {
+    return Isa::kScalar;
+  }
+#if defined(__AVX2__) && defined(__FMA__)
+  // The AVX2 kernels use FMA intrinsics to mirror the contracted scalar
+  // build, so both features must be present at runtime; the compile-time
+  // guard keeps non-AVX2 builds (where the kernels are stubs) on the
+  // scalar path unconditionally.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+#endif
+  return Isa::kScalar;
+}
+
+}  // namespace
+
+Isa active() {
+  static const Isa isa = resolve();
+  return isa;
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2: return "avx2";
+    case Isa::kScalar: break;
+  }
+  return "scalar";
+}
+
+}  // namespace nora::util::simd

@@ -1,0 +1,232 @@
+#include "util/simd_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace nora::util::simd {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace {
+
+// Gather one 4-wide lane group for rows [k, k+4) of four columns:
+// r[t] = { w0[k+t], w1[k+t], w2[k+t], w3[k+t] }.
+inline void load_transpose4(const float* w0, const float* w1, const float* w2,
+                            const float* w3, std::size_t k, __m128 r[4]) {
+  __m128 a0 = _mm_loadu_ps(w0 + k);
+  __m128 a1 = _mm_loadu_ps(w1 + k);
+  __m128 a2 = _mm_loadu_ps(w2 + k);
+  __m128 a3 = _mm_loadu_ps(w3 + k);
+  _MM_TRANSPOSE4_PS(a0, a1, a2, a3);
+  r[0] = a0;
+  r[1] = a1;
+  r[2] = a2;
+  r[3] = a3;
+}
+
+inline __m128 gather_lane(const float* w0, const float* w1, const float* w2,
+                          const float* w3, std::size_t k) {
+  return _mm_set_ps(w3[k], w2[k], w1[k], w0[k]);
+}
+
+}  // namespace
+
+void mvm_dot8_avx2(const float* w, std::int64_t stride, const float* x,
+                   std::size_t n, float out[8]) {
+  const float* wa0 = w + 0 * stride;
+  const float* wa1 = w + 1 * stride;
+  const float* wa2 = w + 2 * stride;
+  const float* wa3 = w + 3 * stride;
+  const float* wb0 = w + 4 * stride;
+  const float* wb1 = w + 5 * stride;
+  const float* wb2 = w + 6 * stride;
+  const float* wb3 = w + 7 * stride;
+  __m256d sa = _mm256_setzero_pd();
+  __m256d sb = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m128 la[4], lb[4];
+    load_transpose4(wa0, wa1, wa2, wa3, k, la);
+    load_transpose4(wb0, wb1, wb2, wb3, k, lb);
+    for (int t = 0; t < 4; ++t) {
+      const __m256d xk = _mm256_set1_pd(static_cast<double>(x[k + t]));
+      sa = _mm256_fmadd_pd(_mm256_cvtps_pd(la[t]), xk, sa);
+      sb = _mm256_fmadd_pd(_mm256_cvtps_pd(lb[t]), xk, sb);
+    }
+  }
+  for (; k < n; ++k) {
+    const __m256d xk = _mm256_set1_pd(static_cast<double>(x[k]));
+    sa = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(gather_lane(wa0, wa1, wa2, wa3, k)), xk, sa);
+    sb = _mm256_fmadd_pd(
+        _mm256_cvtps_pd(gather_lane(wb0, wb1, wb2, wb3, k)), xk, sb);
+  }
+  _mm_storeu_ps(out, _mm256_cvtpd_ps(sa));
+  _mm_storeu_ps(out + 4, _mm256_cvtpd_ps(sb));
+}
+
+void ir_fused8_avx2(const float* w, std::int64_t stride, const float* x,
+                    std::size_t n, float kappa, float out[8]) {
+  const float* wa0 = w + 0 * stride;
+  const float* wa1 = w + 1 * stride;
+  const float* wa2 = w + 2 * stride;
+  const float* wa3 = w + 3 * stride;
+  const float* wb0 = w + 4 * stride;
+  const float* wb1 = w + 5 * stride;
+  const float* wb2 = w + 6 * stride;
+  const float* wb3 = w + 7 * stride;
+  const __m256d kd = _mm256_set1_pd(static_cast<double>(kappa));
+  const __m256d inv_n = _mm256_set1_pd(1.0 / static_cast<double>(n));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m128 absmask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+  __m256d caa = _mm256_setzero_pd(), cab = _mm256_setzero_pd();
+  __m256d aa = _mm256_setzero_pd(), ab = _mm256_setzero_pd();
+  // One lane step of the scalar recurrence (see header for the op map).
+  const auto step = [&](__m128 wf, __m128 xk, __m256d& ca, __m256d& acc) {
+    const __m128 c = _mm_mul_ps(wf, xk);
+    ca = _mm256_add_pd(ca, _mm256_cvtps_pd(_mm_and_ps(c, absmask)));
+    const __m256d t = _mm256_mul_pd(kd, ca);
+    const __m256d factor = _mm256_fnmadd_pd(t, inv_n, one);
+    acc = _mm256_fmadd_pd(_mm256_cvtps_pd(c), factor, acc);
+  };
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m128 la[4], lb[4];
+    load_transpose4(wa0, wa1, wa2, wa3, k, la);
+    load_transpose4(wb0, wb1, wb2, wb3, k, lb);
+    for (int t = 0; t < 4; ++t) {
+      const __m128 xk = _mm_set1_ps(x[k + t]);
+      step(la[t], xk, caa, aa);
+      step(lb[t], xk, cab, ab);
+    }
+  }
+  for (; k < n; ++k) {
+    const __m128 xk = _mm_set1_ps(x[k]);
+    step(gather_lane(wa0, wa1, wa2, wa3, k), xk, caa, aa);
+    step(gather_lane(wb0, wb1, wb2, wb3, k), xk, cab, ab);
+  }
+  _mm_storeu_ps(out, _mm256_cvtpd_ps(aa));
+  _mm_storeu_ps(out + 4, _mm256_cvtpd_ps(ab));
+}
+
+std::int64_t dac_scale_clip_quantize_avx2(const float* xs, float* out,
+                                          std::size_t n, float inv_alpha,
+                                          float steps, float bound) {
+  const bool quant = steps > 0.0f;
+  const float half = steps / 2.0f;
+  const __m256 va = _mm256_set1_ps(inv_alpha);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 signmask = _mm256_castsi256_ps(_mm256_set1_epi32(
+      static_cast<int>(0x80000000u)));
+  const __m256 vb = _mm256_set1_ps(bound);
+  const __m256 vh = _mm256_set1_ps(half);
+  const __m256 vnh = _mm256_set1_ps(-half);
+  const __m256 vh1 = _mm256_set1_ps(half - 1.0f);
+  const __m256 vhalfc = _mm256_set1_ps(0.5f);
+  std::int64_t clipped = 0;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    __m256 v = _mm256_mul_ps(_mm256_loadu_ps(xs + k), va);
+    const __m256 clip =
+        _mm256_cmp_ps(_mm256_and_ps(v, absmask), one, _CMP_GT_OQ);
+    clipped += _mm_popcnt_u32(
+        static_cast<unsigned>(_mm256_movemask_ps(clip)));
+    // v > 0 ? 1 : -1, branchless: copysign(1, v); only the clipped lanes
+    // (|v| > 1, so v != 0) consume it.
+    const __m256 sign1 = _mm256_or_ps(one, _mm256_and_ps(v, signmask));
+    v = _mm256_blendv_ps(v, sign1, clip);
+    if (quant) {
+      const __m256 y = _mm256_mul_ps(_mm256_div_ps(v, vb), vh);
+      // round-half-away-from-zero: trunc, then +-1 where |frac| >= 0.5.
+      const __m256 t =
+          _mm256_round_ps(y, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+      const __m256 frac = _mm256_and_ps(_mm256_sub_ps(y, t), absmask);
+      const __m256 ge = _mm256_cmp_ps(frac, vhalfc, _CMP_GE_OQ);
+      // Blend, don't add-zero: t + (+0) would flip a -0 lane (y in
+      // (-0.5, 0] truncates to -0, and -0 + +0 = +0) while the scalar
+      // round returns trunc's -0 untouched.
+      const __m256 sign1 = _mm256_or_ps(one, _mm256_and_ps(y, signmask));
+      __m256 q = _mm256_blendv_ps(t, _mm256_add_ps(t, sign1), ge);
+      q = _mm256_max_ps(q, vnh);
+      q = _mm256_min_ps(q, vh1);
+      v = _mm256_div_ps(_mm256_mul_ps(q, vb), vh);
+    }
+    _mm256_storeu_ps(out + k, v);
+  }
+  for (; k < n; ++k) {
+    float v = xs[k] * inv_alpha;
+    if (std::fabs(v) > 1.0f) {
+      ++clipped;
+      v = v > 0.0f ? 1.0f : -1.0f;
+    }
+    if (quant) {
+      float q = std::round(v / bound * half);
+      q = std::clamp(q, -half, half - 1.0f);
+      v = q * bound / half;
+    }
+    out[k] = v;
+  }
+  return clipped;
+}
+
+void add_scaled_gaussian_avx2(float* v, const double* raw, std::size_t n,
+                              double stddev) {
+  const __m256d sd = _mm256_set1_pd(stddev);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d term = _mm256_fmadd_pd(sd, _mm256_loadu_pd(raw + k), zero);
+    _mm_storeu_ps(v + k,
+                  _mm_add_ps(_mm_loadu_ps(v + k), _mm256_cvtpd_ps(term)));
+  }
+  for (; k < n; ++k) {
+    v[k] += static_cast<float>(std::fma(stddev, raw[k], 0.0));
+  }
+}
+
+void scale_convert_avx2(float* dst, const double* raw, std::size_t n,
+                        double mean, double stddev) {
+  const __m256d sd = _mm256_set1_pd(stddev);
+  const __m256d mu = _mm256_set1_pd(mean);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    _mm_storeu_ps(dst + k, _mm256_cvtpd_ps(_mm256_fmadd_pd(
+                               sd, _mm256_loadu_pd(raw + k), mu)));
+  }
+  for (; k < n; ++k) {
+    dst[k] = static_cast<float>(std::fma(stddev, raw[k], mean));
+  }
+}
+
+#else  // !(__AVX2__ && __FMA__)
+
+// util::simd::active() never returns kAvx2 in a build without AVX2+FMA,
+// so these are unreachable; they exist to keep the link uniform.
+void mvm_dot8_avx2(const float*, std::int64_t, const float*, std::size_t,
+                   float[8]) {
+  std::abort();
+}
+void ir_fused8_avx2(const float*, std::int64_t, const float*, std::size_t,
+                    float, float[8]) {
+  std::abort();
+}
+std::int64_t dac_scale_clip_quantize_avx2(const float*, float*, std::size_t,
+                                          float, float, float) {
+  std::abort();
+}
+void add_scaled_gaussian_avx2(float*, const double*, std::size_t, double) {
+  std::abort();
+}
+void scale_convert_avx2(float*, const double*, std::size_t, double, double) {
+  std::abort();
+}
+
+#endif
+
+}  // namespace nora::util::simd

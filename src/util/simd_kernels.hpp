@@ -1,0 +1,63 @@
+// AVX2+FMA implementations of the analog hot-loop kernels.
+//
+// Every kernel here is the elementwise vector image of a scalar loop in
+// the simulator, including the FMA contractions GCC bakes into the
+// scalar -O3 -march=native build (vfmadd/vfnmadd placement read off the
+// disassembly of the shipped objects). The callers branch on
+// util::simd::use_avx2() and keep their original scalar loops verbatim
+// for the other side, so the scalar path is bit-identical by
+// construction and the AVX2 path is bit-identical by these kernels'
+// contract — enforced by tests/test_simd_kernels.cpp (randomized
+// equality against the scalar recurrences) and by the golden-stream
+// tests run with NORA_FORCE_SCALAR on and off.
+//
+// When the build does not target AVX2+FMA the declarations remain but
+// the definitions abort; util::simd::active() never selects kAvx2 in
+// that configuration, so they are unreachable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nora::util::simd {
+
+/// Eight-column double-precision dot product, columns at stride `stride`
+/// from `w`: out[i] = (float)sum_k fma((double)w[i*stride + k], (double)x[k], ·)
+/// — the exact loop-carried fma chain of AnalogTile's quad accumulate,
+/// run on eight independent columns (two 4-lane chains).
+void mvm_dot8_avx2(const float* w, std::int64_t stride, const float* x,
+                   std::size_t n, float out[8]);
+
+/// Eight-column fused IR-drop accumulate. Per column, per row k (exactly
+/// the compiled scalar recurrence of IrDropModel::accumulate_columns_fused4):
+///   c      = w[k] * x[k]                      (float multiply)
+///   ca    += (double)fabsf(c)
+///   t      = (double)kappa * ca
+///   factor = fnma(t, inv_n, 1.0)              (single-rounded 1 - t*inv_n)
+///   acc    = fma((double)c, factor, acc)
+/// with inv_n = 1.0 / (double)n. out[i] = (float)acc_i.
+void ir_fused8_avx2(const float* w, std::int64_t stride, const float* x,
+                    std::size_t n, float kappa, float out[8]);
+
+/// DAC input pipeline, vector stage: v = xs[k]*inv_alpha, clip to ±1
+/// (counting clips), then — when steps > 0 — the mid-tread quantizer
+///   q = round(v / bound * half); q = clamp(q, -half, half-1); v = q*bound/half
+/// with half = steps/2 and round() emulated exactly (trunc + half-away
+/// adjustment; std::round is correctly rounded, so the emulation is
+/// bit-exact). Stores v into out. Returns the clip count.
+std::int64_t dac_scale_clip_quantize_avx2(const float* xs, float* out,
+                                          std::size_t n, float inv_alpha,
+                                          float steps, float bound);
+
+/// v[k] += (float)fma(stddev, raw[k], 0.0) — the additive-input-noise
+/// epilogue; the fma-with-zero mirrors the compiled scalar expression
+/// `(float)(0.0 + stddev * raw[k])`.
+void add_scaled_gaussian_avx2(float* v, const double* raw, std::size_t n,
+                              double stddev);
+
+/// dst[k] = (float)fma(stddev, raw[k], mean) — the Gaussian fill
+/// scale/convert stage (the compiled form of `(float)(mean + stddev*g)`).
+void scale_convert_avx2(float* dst, const double* raw, std::size_t n,
+                        double mean, double stddev);
+
+}  // namespace nora::util::simd

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "noise/additive.hpp"
@@ -206,6 +207,49 @@ TEST(Drift, ReadNoiseGrowsWithTime) {
   DriftConfig off;
   off.sigma_1f = 0.0f;
   EXPECT_EQ(PcmDriftModel(off).read_noise_sigma(3600.0f), 0.0f);
+}
+
+// Every noise-model constructor must reject NaN/Inf parameters: the
+// existing range checks (`x < 0.0f` and friends) are all false for NaN,
+// so a non-finite config would silently poison every downstream MVM.
+TEST(NoiseCtors, RejectNonFiniteParameters) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+
+  // Brace-init everywhere: `Type(nan)` inside the macro would parse as a
+  // declaration of a variable named `nan` and throw nothing.
+  EXPECT_THROW(IrDropModel(nan, 128), std::invalid_argument);
+  EXPECT_THROW(IrDropModel(inf, 128), std::invalid_argument);
+  EXPECT_THROW(SShapeNonlinearity{nan}, std::invalid_argument);
+  EXPECT_THROW(SShapeNonlinearity{inf}, std::invalid_argument);
+  EXPECT_THROW(ShortTermReadNoise{nan}, std::invalid_argument);
+  EXPECT_THROW(ShortTermReadNoise{inf}, std::invalid_argument);
+  EXPECT_THROW(ShortTermReadNoise{-0.1f}, std::invalid_argument);
+  EXPECT_THROW(AdditiveGaussian{nan}, std::invalid_argument);
+  EXPECT_THROW(AdditiveGaussian{inf}, std::invalid_argument);
+  EXPECT_THROW(AdditiveGaussian{-0.1f}, std::invalid_argument);
+  EXPECT_THROW(ProgrammingNoise{nan}, std::invalid_argument);
+  EXPECT_THROW(ProgrammingNoise{inf}, std::invalid_argument);
+  EXPECT_THROW(ProgrammingNoise{-1.0f}, std::invalid_argument);
+
+  DriftConfig bad;
+  bad.nu_mean = nan;
+  EXPECT_THROW(PcmDriftModel{bad}, std::invalid_argument);
+  bad = DriftConfig{};
+  bad.nu_sigma = -0.01f;
+  EXPECT_THROW(PcmDriftModel{bad}, std::invalid_argument);
+  bad = DriftConfig{};
+  bad.t0 = 0.0f;
+  EXPECT_THROW(PcmDriftModel{bad}, std::invalid_argument);
+  bad = DriftConfig{};
+  bad.sigma_1f = inf;
+  EXPECT_THROW(PcmDriftModel{bad}, std::invalid_argument);
+
+  // Defaults and in-range values stay accepted.
+  EXPECT_NO_THROW(PcmDriftModel{DriftConfig{}});
+  EXPECT_NO_THROW(ShortTermReadNoise{0.0175f});
+  EXPECT_NO_THROW(AdditiveGaussian{0.0f});
+  EXPECT_NO_THROW(ProgrammingNoise{1.0f});
 }
 
 }  // namespace

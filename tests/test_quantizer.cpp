@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -102,6 +103,19 @@ TEST(Quantizer, InvalidArguments) {
   EXPECT_THROW(UniformQuantizer(-1, 1.0f), std::invalid_argument);
   EXPECT_THROW(UniformQuantizer(4, 0.0f), std::invalid_argument);
   EXPECT_NO_THROW(UniformQuantizer(0, -5.0f));  // disabled: bound unused
+}
+
+TEST(Quantizer, RejectsNonFiniteParameters) {
+  // `steps < 0.0f` etc. are all false for NaN, so without an explicit
+  // isfinite check a NaN config would pass validation and poison every
+  // downstream MVM.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(UniformQuantizer(nan, 1.0f), std::invalid_argument);
+  EXPECT_THROW(UniformQuantizer(inf, 1.0f), std::invalid_argument);
+  EXPECT_THROW(UniformQuantizer(256.0f, nan), std::invalid_argument);
+  EXPECT_THROW(UniformQuantizer(256.0f, inf), std::invalid_argument);
+  EXPECT_THROW(UniformQuantizer(0.0f, nan), std::invalid_argument);
 }
 
 // Property sweep: for b-bit conversion over [-1, 1], the worst-case

@@ -1,0 +1,223 @@
+// Bit-equality of the AVX2+FMA kernels against their scalar op maps.
+//
+// Each kernel in util/simd_kernels.hpp documents the exact scalar
+// operation sequence it vectorizes (including the FMA contractions the
+// compiled scalar build performs). These tests re-state those op maps
+// with explicit std::fma — a correctly-rounded single operation, so the
+// reference is identical under every optimization level — and demand
+// the kernels match bit for bit on randomized inputs spanning several
+// magnitudes, plus the ragged tail lengths the gather fallbacks handle.
+// The golden-stream suite (run with NORA_FORCE_SCALAR on and off)
+// covers the production call sites end to end; this file pins each
+// kernel in isolation so a divergence names the broken kernel directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "noise/quantizer.hpp"
+#include "util/simd.hpp"
+#include "util/simd_kernels.hpp"
+
+namespace nora {
+namespace {
+
+bool have_avx2() {
+#if defined(__AVX2__) && defined(__FMA__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+#define REQUIRE_AVX2()                                         \
+  do {                                                         \
+    if (!have_avx2()) GTEST_SKIP() << "AVX2+FMA unavailable";  \
+  } while (0)
+
+/// Bitwise float equality (EXPECT_EQ on floats treats -0 == +0 and
+/// fails on NaN == NaN; kernels must reproduce the exact bits).
+::testing::AssertionResult same_bits(float a, float b) {
+  std::uint32_t ua, ub;
+  std::memcpy(&ua, &a, 4);
+  std::memcpy(&ub, &b, 4);
+  if (ua == ub) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " (0x" << std::hex << ua << ") != " << b << " (0x" << ub
+         << ")";
+}
+
+std::vector<float> random_floats(std::mt19937& gen, std::size_t n,
+                                 float scale) {
+  std::uniform_real_distribution<float> dist(-scale, scale);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(gen);
+  return v;
+}
+
+TEST(RoundHalfAway, MatchesStdRoundEverywhere) {
+  using noise::UniformQuantizer;
+  const float edge[] = {0.0f,       -0.0f,       0.5f,     -0.5f,
+                        1.5f,       -1.5f,       2.5f,     -2.5f,
+                        0.49999997f, -0.49999997f, 8388607.5f, -8388607.5f,
+                        16777216.0f, -16777216.0f, 1e30f,   -1e30f,
+                        1e-30f,     -1e-30f,
+                        std::numeric_limits<float>::infinity(),
+                        -std::numeric_limits<float>::infinity(),
+                        std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::denorm_min()};
+  for (const float y : edge) {
+    const float got = UniformQuantizer::round_half_away(y);
+    const float want = std::round(y);
+    if (std::isnan(want)) {
+      EXPECT_TRUE(std::isnan(got)) << y;
+    } else {
+      EXPECT_TRUE(same_bits(got, want)) << "y = " << y;
+    }
+    // Signed zero must survive (std::round preserves the sign bit).
+    if (y == 0.0f) {
+      EXPECT_EQ(std::signbit(got), std::signbit(y));
+    }
+  }
+  std::mt19937 gen(123);
+  for (const float scale : {1.0f, 64.0f, 1e6f, 1e20f}) {
+    for (const float y : random_floats(gen, 4096, scale)) {
+      EXPECT_TRUE(same_bits(UniformQuantizer::round_half_away(y),
+                            std::round(y)))
+          << "y = " << y;
+    }
+  }
+}
+
+TEST(SimdKernels, MvmDot8MatchesFmaChain) {
+  REQUIRE_AVX2();
+  std::mt19937 gen(7);
+  // Odd lengths exercise the per-row gather tail after the 4-wide body.
+  for (const std::size_t n : {1u, 4u, 7u, 16u, 33u, 257u}) {
+    const std::int64_t stride = static_cast<std::int64_t>(n);
+    const std::vector<float> w = random_floats(gen, 8 * n, 2.0f);
+    const std::vector<float> x = random_floats(gen, n, 2.0f);
+    float out[8];
+    util::simd::mvm_dot8_avx2(w.data(), stride, x.data(), n, out);
+    for (int i = 0; i < 8; ++i) {
+      double acc = 0.0;
+      const float* wi = w.data() + i * stride;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc = std::fma(static_cast<double>(wi[k]),
+                       static_cast<double>(x[k]), acc);
+      }
+      EXPECT_TRUE(same_bits(out[i], static_cast<float>(acc)))
+          << "n = " << n << ", col " << i;
+    }
+  }
+}
+
+TEST(SimdKernels, IrFused8MatchesScalarRecurrence) {
+  REQUIRE_AVX2();
+  std::mt19937 gen(11);
+  const float kappa = 0.05f * 1.0f * (48.0f / 512.0f);
+  for (const std::size_t n : {1u, 5u, 16u, 48u, 131u}) {
+    const std::int64_t stride = static_cast<std::int64_t>(n);
+    const std::vector<float> w = random_floats(gen, 8 * n, 1.0f);
+    const std::vector<float> x = random_floats(gen, n, 1.0f);
+    float out[8];
+    util::simd::ir_fused8_avx2(w.data(), stride, x.data(), n, kappa, out);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (int i = 0; i < 8; ++i) {
+      const float* wi = w.data() + i * stride;
+      double ca = 0.0, acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const float c = wi[k] * x[k];
+        ca += static_cast<double>(std::fabs(c));
+        const double t = static_cast<double>(kappa) * ca;
+        const double factor = std::fma(-t, inv_n, 1.0);
+        acc = std::fma(static_cast<double>(c), factor, acc);
+      }
+      EXPECT_TRUE(same_bits(out[i], static_cast<float>(acc)))
+          << "n = " << n << ", col " << i;
+    }
+  }
+}
+
+TEST(SimdKernels, DacScaleClipQuantizeMatchesScalarPipeline) {
+  REQUIRE_AVX2();
+  std::mt19937 gen(17);
+  const float bound = 1.0f;
+  for (const float steps : {0.0f, 128.0f, 100.0f}) {  // off / 7-bit / frac
+    for (const std::size_t n : {1u, 8u, 13u, 64u, 255u}) {
+      // Scale 3x the clip point so a healthy fraction of lanes clip.
+      const std::vector<float> xs = random_floats(gen, n, 3.0f);
+      const float inv_alpha = 0.9f;
+      std::vector<float> got(n), want(n);
+      const std::int64_t clipped = util::simd::dac_scale_clip_quantize_avx2(
+          xs.data(), got.data(), n, inv_alpha, steps, bound);
+      const float half = steps / 2.0f;
+      std::int64_t want_clipped = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        float v = xs[k] * inv_alpha;
+        if (std::fabs(v) > 1.0f) {
+          ++want_clipped;
+          v = v > 0.0f ? 1.0f : -1.0f;
+        }
+        if (steps > 0.0f) {
+          float q = noise::UniformQuantizer::round_half_away(
+              v / bound * half);
+          q = std::clamp(q, -half, half - 1.0f);
+          v = q * bound / half;
+        }
+        want[k] = v;
+      }
+      EXPECT_EQ(clipped, want_clipped) << "steps " << steps << ", n " << n;
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_TRUE(same_bits(got[k], want[k]))
+            << "steps " << steps << ", n " << n << ", k " << k;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, GaussianEpiloguesMatchFmaForms) {
+  REQUIRE_AVX2();
+  std::mt19937 gen(23);
+  std::normal_distribution<double> nd(0.0, 1.0);
+  for (const std::size_t n : {1u, 4u, 6u, 64u, 129u}) {
+    std::vector<double> raw(n);
+    for (auto& r : raw) r = nd(gen);
+    // add_scaled_gaussian: v[k] += (float)fma(stddev, raw[k], 0.0)
+    std::vector<float> v = random_floats(gen, n, 1.0f);
+    std::vector<float> want = v;
+    const double stddev = 0.02;
+    util::simd::add_scaled_gaussian_avx2(v.data(), raw.data(), n, stddev);
+    for (std::size_t k = 0; k < n; ++k) {
+      want[k] += static_cast<float>(std::fma(stddev, raw[k], 0.0));
+      EXPECT_TRUE(same_bits(v[k], want[k])) << "n " << n << ", k " << k;
+    }
+    // scale_convert: dst[k] = (float)fma(stddev, raw[k], mean)
+    std::vector<float> dst(n);
+    util::simd::scale_convert_avx2(dst.data(), raw.data(), n, 0.5, 1.7);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_TRUE(same_bits(dst[k],
+                            static_cast<float>(std::fma(1.7, raw[k], 0.5))))
+          << "n " << n << ", k " << k;
+    }
+  }
+}
+
+TEST(SimdDispatch, ActiveIsaIsStableAndNamed) {
+  const util::simd::Isa isa = util::simd::active();
+  EXPECT_EQ(isa, util::simd::active());  // resolved once, then cached
+  const char* name = util::simd::isa_name(isa);
+  ASSERT_NE(name, nullptr);
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2");
+  if (isa == util::simd::Isa::kAvx2) {
+    EXPECT_TRUE(have_avx2());
+  }
+}
+
+}  // namespace
+}  // namespace nora
