@@ -9,10 +9,18 @@
 // (ADC energy scales exponentially in bits, the classic analog-CIM
 // design tension the paper's 7-bit choice reflects).
 //
-//   ./cost_model [--tokens=32]
+// Besides the tables/CSVs, --out writes one machine-readable JSON report
+// (same pattern as bench/serve_load) so CI and EXPERIMENTS.md can diff
+// energy/latency numbers across PRs. Every DeviceCosts constant is a
+// --flag (see cost/device_costs_cli.hpp).
+//
+//   ./cost_model [--tokens=32] [--out=results/cost_model.json]
+//                [--tile-read-ns=100] [--adc-fom-fj=30] ...
 #include <cstdio>
+#include <string>
 
 #include "cost/cost_model.hpp"
+#include "cost/device_costs_cli.hpp"
 #include "model/zoo.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -22,12 +30,20 @@ using namespace nora;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const std::int64_t tokens = cli.get_int("tokens", 32);
-  const cost::DeviceCosts dev;
+  const std::string out_path = cli.get("out", "results/cost_model.json");
+  const cost::DeviceCosts dev = cost::device_costs_from_cli(cli);
+  cli.check_unknown();
   const cim::TileConfig hw = cim::TileConfig::paper_table2();
 
   std::printf("Analytic cost model — energy/latency of all linear layers, "
               "one forward pass over %lld tokens\n\n",
               static_cast<long long>(tokens));
+
+  std::string json = "{\"tokens\":" + std::to_string(tokens) +
+                     ",\"tile_read_ns\":" +
+                     std::to_string(dev.tile_read_latency_ns) +
+                     ",\"models\":[";
+  bool first_model_entry = true;
 
   util::Table table({"model", "backend", "energy (nJ)", "latency (us)",
                      "adc (nJ)", "dac (nJ)", "cells (nJ)", "macs (nJ)",
@@ -57,6 +73,16 @@ int main(int argc, char** argv) {
                      util::Table::num(cell * 1e-3, 2),
                      util::Table::num(mac * 1e-3, 2),
                      util::Table::num(mem * 1e-3, 2)});
+      char entry[512];
+      std::snprintf(entry, sizeof(entry),
+                    "%s{\"model\":\"%s\",\"backend\":\"%s\","
+                    "\"energy_pj\":%.6g,\"latency_ns\":%.6g,"
+                    "\"adc_pj\":%.6g,\"dac_pj\":%.6g,\"cell_pj\":%.6g,"
+                    "\"mac_pj\":%.6g,\"mem_pj\":%.6g}",
+                    first_model_entry ? "" : ",", name.c_str(), label,
+                    c.energy_pj, c.latency_ns, adc, dac, cell, mac, mem);
+      json += entry;
+      first_model_entry = false;
     }
   }
   table.print();
@@ -71,6 +97,8 @@ int main(int argc, char** argv) {
   auto m = model::get_or_train("opt-6.7b-sim", /*verbose=*/false);
   const auto dig = cost::model_linear_cost(*m, tokens,
                                            cost::Backend::kDigitalInt8, hw, dev);
+  json += "],\"bits_sweep\":[";
+  bool first_sweep_entry = true;
   for (const int bits : {5, 6, 7, 8, 9, 10, 11, 12}) {
     cim::TileConfig cfg = hw;
     cfg.dac_bits = bits;
@@ -82,9 +110,27 @@ int main(int argc, char** argv) {
     sweep.add_row({std::to_string(bits), util::Table::num(c.energy_pj * 1e-3, 2),
                    util::Table::num(100.0 * adc / c.energy_pj, 1),
                    util::Table::num(dig.energy_pj / c.energy_pj, 2)});
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "%s{\"bits\":%d,\"energy_pj\":%.6g,\"adc_share\":%.6g,"
+                  "\"vs_int8\":%.6g}",
+                  first_sweep_entry ? "" : ",", bits, c.energy_pj,
+                  adc / c.energy_pj, dig.energy_pj / c.energy_pj);
+    json += entry;
+    first_sweep_entry = false;
   }
+  json += "]}";
   sweep.print();
   sweep.write_csv("results/cost_model_bits.csv");
+  if (!out_path.empty()) {
+    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+      std::printf("\nwrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "WARNING: cannot write %s\n", out_path.c_str());
+    }
+  }
   std::printf("\nshape check: ADC energy doubles per bit and dominates "
               "beyond ~8-9 bits,\neroding the analog advantage — which is "
               "why low-resolution converters (and\nhence NORA-style accuracy "

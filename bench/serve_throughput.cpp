@@ -13,10 +13,14 @@
 // sequential output) is hardware-independent and always enforced.
 //
 // Phase 2: open-loop Poisson arrivals replayed deterministically at
-// several offered loads; reports occupancy, tokens/s and p50/p95 TTFT.
+// several offered loads; reports occupancy, tokens/s and p50/p95 TTFT —
+// on the wall clock AND on the simulated-hardware clock (the timing
+// co-simulator replays each step's op trace against DeviceCosts-derived
+// resource models; sim columns are replay-exact at any thread count).
 //
 //   ./serve_throughput [--model=opt-1.3b-sim] [--threads=N] [--batch=8]
 //                      [--requests=24] [--tokens=20] [--smoke]
+//                      [--pipeline-depth=1] [--tile-read-ns=100] ...
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -24,9 +28,11 @@
 #include <vector>
 
 #include "core/nora.hpp"
+#include "cost/device_costs_cli.hpp"
 #include "eval/evaluator.hpp"
 #include "model/zoo.hpp"
 #include "serve/scheduler.hpp"
+#include "timing/hw_model.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -93,7 +99,8 @@ RunResult run_poisson(nn::TransformerLM& model,
                       const std::vector<std::vector<int>>& prompts,
                       int max_batch, int n_tokens, double load,
                       std::uint64_t seed,
-                      const std::vector<std::uint64_t>* streams = nullptr) {
+                      const std::vector<std::uint64_t>* streams = nullptr,
+                      const timing::TimingConfig* timing = nullptr) {
   std::vector<std::int64_t> arrival_step(prompts.size());
   util::Rng rng(seed);
   double t = 0.0;
@@ -103,6 +110,7 @@ RunResult run_poisson(nn::TransformerLM& model,
   }
   serve::SchedulerConfig cfg;
   cfg.max_batch = max_batch;
+  if (timing != nullptr) cfg.timing = *timing;
   serve::Scheduler sched(model, cfg);
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t next = 0;
@@ -199,6 +207,15 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_int("requests", smoke ? 12 : 24));
   const int n_tokens =
       static_cast<int>(cli.get_int("tokens", smoke ? 16 : 20));
+  // Timing co-sim for the Poisson phase: simulated-hardware latency
+  // columns next to the wall-clock ones. Every DeviceCosts constant is
+  // a flag (cost/device_costs_cli.hpp); depth 1 = unpipelined tiles.
+  timing::TimingConfig sim_cfg;
+  sim_cfg.enabled = true;
+  sim_cfg.pipeline_depth =
+      static_cast<int>(cli.get_int("pipeline-depth", 1));
+  sim_cfg.costs = cost::device_costs_from_cli(cli);
+  cli.check_unknown();
 
   const model::ModelSpec spec = model::spec_by_name(name);
   eval::SynthLambadaConfig task_cfg = spec.task;
@@ -248,20 +265,27 @@ int main(int argc, char** argv) {
       smoke ? std::vector<double>{0.3} : std::vector<double>{0.15, 0.3, 0.6};
   util::Table ptable({"offered load (req/step)", "finished", "occupancy",
                       "tok/s", "queue wait (steps)", "TTFT p50 (s)",
-                      "TTFT p95 (s)"});
+                      "TTFT p95 (s)", "sim TTFT p50 (us)",
+                      "sim TPOT p50 (us)", "sim goodput (tok/s)"});
   for (const double load : loads) {
     deploy(*model, task, threads);
-    const RunResult r =
-        run_poisson(*model, prompts, batch, n_tokens, load, /*seed=*/99);
+    const RunResult r = run_poisson(*model, prompts, batch, n_tokens, load,
+                                    /*seed=*/99, nullptr, &sim_cfg);
     ptable.add_row({util::Table::num(load, 2),
                     std::to_string(r.metrics.finished),
                     util::Table::num(r.metrics.mean_occupancy(), 2),
                     util::Table::num(r.tokens_per_s(), 1),
                     util::Table::num(r.metrics.mean_queue_wait_steps(), 2),
                     util::Table::num(r.metrics.ttft_p50_s(), 4),
-                    util::Table::num(r.metrics.ttft_p95_s(), 4)});
+                    util::Table::num(r.metrics.ttft_p95_s(), 4),
+                    util::Table::num(r.metrics.sim_ttft_p50_us(), 1),
+                    util::Table::num(r.metrics.sim_tpot_p50_us(), 2),
+                    util::Table::num(r.metrics.sim_goodput_tokens_per_s(),
+                                     0)});
   }
-  std::printf("Poisson open-loop replay (deterministic arrival trace):\n");
+  std::printf("Poisson open-loop replay (deterministic arrival trace; sim "
+              "columns are simulated-hardware time from the timing "
+              "co-simulator):\n");
   ptable.print();
   ptable.write_csv("results/serve_throughput.csv");
 

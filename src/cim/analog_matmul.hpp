@@ -73,6 +73,15 @@ class AnalogMatmul {
   std::int64_t in_dim() const { return k_; }
   std::int64_t out_dim() const { return n_; }
   const TileConfig& config() const { return cfg_; }
+  /// Tile-grid geometry (timing co-sim resource shape): row blocks
+  /// partition the input dim, column blocks the output dim.
+  std::int64_t row_blocks() const {
+    return static_cast<std::int64_t>(blocks_.size());
+  }
+  std::int64_t col_blocks() const {
+    return blocks_.empty() ? 0
+                           : static_cast<std::int64_t>(blocks_[0].tiles.size());
+  }
   std::span<const float> s() const { return s_; }
 
   /// Label used in diagnostics/errors (typically the owning layer name).

@@ -1,0 +1,52 @@
+#include "cost/device_costs_cli.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace nora::cost {
+
+namespace {
+
+double read_cost(const util::Cli& cli, const char* flag, double fallback,
+                 bool strictly_positive) {
+  const double v = cli.get_double(flag, fallback);
+  if (!std::isfinite(v) || v < 0.0 || (strictly_positive && v == 0.0)) {
+    throw std::invalid_argument(
+        std::string("--") + flag + "=" + std::to_string(v) +
+        ": device cost must be finite and " +
+        (strictly_positive ? "> 0" : ">= 0"));
+  }
+  return v;
+}
+
+}  // namespace
+
+DeviceCosts device_costs_from_cli(const util::Cli& cli,
+                                  const DeviceCosts& base) {
+  DeviceCosts d = base;
+  d.adc_fom_fj_per_step =
+      read_cost(cli, "adc-fom-fj", base.adc_fom_fj_per_step, false);
+  d.dac_fom_fj_per_step =
+      read_cost(cli, "dac-fom-fj", base.dac_fom_fj_per_step, false);
+  d.cell_read_fj = read_cost(cli, "cell-read-fj", base.cell_read_fj, false);
+  // Latency / throughput constants are divisors downstream: zero is as
+  // fatal as negative.
+  d.tile_read_latency_ns =
+      read_cost(cli, "tile-read-ns", base.tile_read_latency_ns, true);
+  d.cell_area_um2 = read_cost(cli, "cell-area-um2", base.cell_area_um2, false);
+  d.adc_area_um2 = read_cost(cli, "adc-area-um2", base.adc_area_um2, false);
+  d.fp32_mac_pj = read_cost(cli, "fp32-mac-pj", base.fp32_mac_pj, false);
+  d.int8_mac_pj = read_cost(cli, "int8-mac-pj", base.int8_mac_pj, false);
+  d.digital_macs_per_ns =
+      read_cost(cli, "digital-macs-per-ns", base.digital_macs_per_ns, true);
+  d.dram_pj_per_byte =
+      read_cost(cli, "dram-pj-per-byte", base.dram_pj_per_byte, false);
+  d.sram_pj_per_byte =
+      read_cost(cli, "sram-pj-per-byte", base.sram_pj_per_byte, false);
+  d.dram_bytes_per_ns =
+      read_cost(cli, "dram-bytes-per-ns", base.dram_bytes_per_ns, true);
+  return d;
+}
+
+}  // namespace nora::cost

@@ -1,0 +1,25 @@
+// CLI binding for cost::DeviceCosts: every physical constant of the cost
+// model (and of the timing co-simulator, which shares the struct) becomes
+// an overridable --flag, so benches can sweep device assumptions without
+// recompiling. Values are validated on read — a negative or non-finite
+// "physical constant" is always a typo, and latency/throughput constants
+// must be strictly positive or the models divide by zero.
+#pragma once
+
+#include "cost/cost_model.hpp"
+#include "util/cli.hpp"
+
+namespace nora::cost {
+
+/// Read DeviceCosts overrides from `cli` on top of `base`. Flags:
+///   --adc-fom-fj --dac-fom-fj --cell-read-fj --tile-read-ns
+///   --cell-area-um2 --adc-area-um2 --fp32-mac-pj --int8-mac-pj
+///   --digital-macs-per-ns --dram-pj-per-byte --sram-pj-per-byte
+///   --dram-bytes-per-ns
+/// Throws std::invalid_argument naming the flag and offending value when
+/// a value is negative or non-finite, or when --tile-read-ns /
+/// --digital-macs-per-ns / --dram-bytes-per-ns is zero.
+DeviceCosts device_costs_from_cli(const util::Cli& cli,
+                                  const DeviceCosts& base = {});
+
+}  // namespace nora::cost

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "timing/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nora::nn {
@@ -195,6 +196,24 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
         "attention forward_serve: segment rows do not cover the batch");
   }
   const Matrix qkv = qkv_.forward_keyed(x, keys);  // [T x 3d], one tile pass
+  if (timing::active_trace() != nullptr) {
+    // Exact ragged MAC count of the digital score/context arithmetic:
+    // each new row at global position p attends over p + 1 keys, and
+    // QK^T plus P·V each cost ctx * d_model MACs per row.
+    std::int64_t macs = 0;
+    for (const AttnServeSeq& seq : seqs) {
+      macs += 2 * d_model_ *
+              (seq.rows * seq.pos0 + seq.rows * (seq.rows + 1) / 2);
+    }
+    timing::TimingOp op;
+    op.kind = timing::OpKind::kAttention;
+    op.layer = name_ + ".scores";
+    op.rows = total;
+    op.k = d_model_;
+    op.n = d_model_;
+    op.macs = macs;
+    timing::record(std::move(op));
+  }
   // Append this step's K/V rows directly into each sequence's cache:
   // sequences are independent work items with disjoint state, and the
   // in-place append removes the former per-sequence allocate + O(pos0)

@@ -5,6 +5,7 @@
 
 #include "quant/int8_linear.hpp"
 #include "tensor/ops.hpp"
+#include "timing/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nora::nn {
@@ -17,6 +18,29 @@ Linear::Linear(std::string name, std::int64_t in_dim, std::int64_t out_dim,
   w_ = Param(name_ + ".w", std::move(w));
   b_ = Param(name_ + ".b", Matrix(1, out_dim));
   input_abs_max_.assign(static_cast<std::size_t>(in_dim), 0.0f);
+}
+
+void Linear::record_timing(std::int64_t rows) const {
+  // Emitted from the thread driving the forward pass (never from pool
+  // workers), so the trace order is a pure function of the workload.
+  timing::Trace* trace = timing::active_trace();
+  if (trace == nullptr) return;
+  timing::TimingOp op;
+  op.layer = name_;
+  op.rows = rows;
+  op.k = in_dim();
+  op.n = out_dim();
+  op.macs = rows * op.k * op.n;
+  if (analog_ && !digital_bypass_) {
+    op.kind = timing::OpKind::kAnalogMvm;
+    op.row_blocks = analog_->row_blocks();
+    op.col_blocks = analog_->col_blocks();
+  } else if (int8_ && !digital_bypass_) {
+    op.kind = timing::OpKind::kInt8Gemm;
+  } else {
+    op.kind = timing::OpKind::kDigitalGemm;
+  }
+  trace->ops.push_back(std::move(op));
 }
 
 Matrix Linear::forward(const Matrix& x, bool training) {
@@ -49,6 +73,7 @@ Matrix Linear::forward(const Matrix& x, bool training) {
               grown.data() + captured_inputs_.size());
     captured_inputs_ = std::move(grown);
   }
+  record_timing(x.rows());
   Matrix y = analog_ && !digital_bypass_ ? analog_->forward(x)
              : int8_ && !digital_bypass_
                  ? quant::int8_linear(x, w_.value, int8_s_, nullptr,
@@ -70,6 +95,7 @@ Matrix Linear::forward_keyed(const Matrix& x,
     throw std::invalid_argument("Linear::forward_keyed: input dim mismatch (" +
                                 name_ + ")");
   }
+  record_timing(x.rows());
   Matrix y = analog_ && !digital_bypass_ ? analog_->forward(x, keys)
              : int8_ && !digital_bypass_
                  ? quant::int8_linear(x, w_.value, int8_s_, nullptr,

@@ -86,6 +86,10 @@ class Linear {
   void collect_params(ParamRefs& out);
 
  private:
+  /// Append this pass's shape metadata to the thread-local timing trace
+  /// (no-op when tracing is off — the timing.enabled=false fast path).
+  void record_timing(std::int64_t rows) const;
+
   std::string name_;
   Param w_;  // [in x out]
   Param b_;  // [1 x out]

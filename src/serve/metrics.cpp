@@ -122,6 +122,16 @@ std::string Metrics::to_string() const {
   }
   s += "  monitor:  " + std::to_string(monitor_inspections) +
        " inspections, " + std::to_string(monitor_actions) + " actions\n";
+  if (sim_time_ps > 0) {
+    const std::vector<double> sim_ttft_q = percentiles(sim_ttft_us, qs);
+    s += "  sim time: " + fmt("%.1f", static_cast<double>(sim_time_ps) * 1e-6) +
+         " us over " + std::to_string(sim_events) + " events; " +
+         fmt("%.0f", sim_tokens_per_s()) + " tok/s, goodput " +
+         fmt("%.0f", sim_goodput_tokens_per_s()) + " tok/s\n";
+    s += "  sim lat:  TTFT p50 " + fmt("%.1f", sim_ttft_q[0]) + " us, p95 " +
+         fmt("%.1f", sim_ttft_q[1]) + " us; TPOT p50 " +
+         fmt("%.2f", sim_tpot_p50_us()) + " us\n";
+  }
   return s;
 }
 
@@ -190,7 +200,19 @@ std::string Metrics::to_json() const {
   add_i("kv_prefix_evicted", kv_prefix_evicted);
   add_i("kv_prefix_invalidated", kv_prefix_invalidated);
   add_i("monitor_inspections", monitor_inspections);
-  add_i("monitor_actions", monitor_actions, /*comma=*/false);
+  add_i("monitor_actions", monitor_actions);
+  add_i("sim_time_ps", sim_time_ps);
+  add_i("sim_events", sim_events);
+  add_i("finished_tokens", finished_tokens);
+  add_d("sim_tokens_per_s", sim_tokens_per_s());
+  add_d("sim_goodput_tokens_per_s", sim_goodput_tokens_per_s());
+  {
+    const double qs[] = {0.5, 0.95};
+    const std::vector<double> sim_ttft_q = percentiles(sim_ttft_us, qs);
+    add_d("sim_ttft_p50_us", sim_ttft_q[0]);
+    add_d("sim_ttft_p95_us", sim_ttft_q[1]);
+  }
+  add_d("sim_tpot_p50_us", sim_tpot_p50_us(), /*comma=*/false);
   s += "}";
   return s;
 }

@@ -97,6 +97,16 @@ struct Metrics {
   std::int64_t monitor_inspections = 0;
   std::int64_t monitor_actions = 0;  // rereads + refreshes + fallbacks
 
+  // Simulated-hardware time from the timing co-simulator (all zero /
+  // empty when SchedulerConfig::timing.enabled is false). The sim clock
+  // is integer picoseconds and replay-exact: a pure function of the
+  // workload, bit-identical at any host thread count.
+  std::int64_t sim_time_ps = 0;    // simulated clock after the last step
+  std::int64_t sim_events = 0;     // DES events dispatched across replays
+  std::int64_t finished_tokens = 0;  // tokens of requests that FINISHED
+  std::vector<double> sim_ttft_us;   // submit -> first token, sim clock
+  std::vector<double> sim_tpot_us;   // per-token decode interval, sim clock
+
   double mean_occupancy() const {
     return busy_steps > 0 ? occupancy_sum / static_cast<double>(busy_steps)
                           : 0.0;
@@ -110,6 +120,22 @@ struct Metrics {
   }
   double ttft_p50_s() const { return percentile(ttft_s, 0.5); }
   double ttft_p95_s() const { return percentile(ttft_s, 0.95); }
+  double sim_time_s() const { return static_cast<double>(sim_time_ps) * 1e-12; }
+  /// Generated tokens per simulated second (0 without sim time).
+  double sim_tokens_per_s() const {
+    return sim_time_ps > 0
+               ? static_cast<double>(generated_tokens) / sim_time_s()
+               : 0.0;
+  }
+  /// Goodput: only tokens of requests that ran to completion count.
+  double sim_goodput_tokens_per_s() const {
+    return sim_time_ps > 0
+               ? static_cast<double>(finished_tokens) / sim_time_s()
+               : 0.0;
+  }
+  double sim_ttft_p50_us() const { return percentile(sim_ttft_us, 0.5); }
+  double sim_ttft_p95_us() const { return percentile(sim_ttft_us, 0.95); }
+  double sim_tpot_p50_us() const { return percentile(sim_tpot_us, 0.5); }
   std::int64_t rejected_with(ServeError code) const {
     return rejected_by_code[static_cast<std::size_t>(code)];
   }

@@ -1,12 +1,35 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <stdexcept>
 
 #include "util/rng.hpp"
 
 namespace nora::serve {
+
+const char* to_string(BatchPolicy policy) {
+  switch (policy) {
+    case BatchPolicy::kGrowth: return "growth";
+    case BatchPolicy::kLatencyAware: return "latency";
+  }
+  return "?";
+}
+
+BatchPolicy batch_policy_from_string(const std::string& s) {
+  std::string lower(s);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "growth") return BatchPolicy::kGrowth;
+  if (lower == "latency" || lower == "latency-aware" ||
+      lower == "latency_aware") {
+    return BatchPolicy::kLatencyAware;
+  }
+  throw std::invalid_argument("unknown batch policy '" + s +
+                              "' (expected growth|latency)");
+}
 
 const char* to_string(RequestState state) {
   switch (state) {
@@ -52,6 +75,12 @@ Scheduler::Scheduler(nn::TransformerLM& model, SchedulerConfig cfg)
   }
   if (cfg_.maintenance_window_steps < 0) {
     throw std::invalid_argument("Scheduler: negative maintenance window");
+  }
+  if (cfg_.prefill_tokens_per_step < 0) {
+    throw std::invalid_argument("Scheduler: negative prefill_tokens_per_step");
+  }
+  if (cfg_.timing.enabled) {
+    hw_timing_.emplace(cfg_.timing);  // validates the timing config
   }
   metrics_.kv_budget_tokens = pool_.budget_tokens();
   metrics_.kv_bytes_per_token = pool_.bytes_per_token();
@@ -150,6 +179,7 @@ std::int64_t Scheduler::submit(RequestParams params) {
                          static_cast<std::uint64_t>(id));
   ++metrics_.submitted;
   submit_s_.push_back(now_s());
+  if (hw_timing_) rec.sim_submit_ps = sim_now_ps_;
 
   ServeError code = ServeError::kNone;
   std::string detail;
@@ -217,6 +247,16 @@ void Scheduler::retire_locked(Active& a, RequestState state) {
   metrics_.request_wall_s.push_back(rec.wall_s);
   metrics_.generated_tokens += static_cast<std::int64_t>(rec.tokens.size());
   metrics_.degraded_tokens += rec.degraded_tokens;
+  if (hw_timing_) {
+    rec.sim_finish_ps = sim_now_ps_;
+    if (state == RequestState::kFinished && rec.sim_first_token_ps >= 0 &&
+        rec.tokens.size() >= 2) {
+      // Mean decode interval after the first token, on the sim clock.
+      metrics_.sim_tpot_us.push_back(
+          static_cast<double>(rec.sim_finish_ps - rec.sim_first_token_ps) /
+          static_cast<double>(rec.tokens.size() - 1) * 1e-6);
+    }
+  }
   if (a.cache != nullptr) {
     // Publish the prompt's KV rows for the next request on this stream —
     // but only from a COLD, UNTAINTED run: a leased base means the slab
@@ -237,7 +277,10 @@ void Scheduler::retire_locked(Active& a, RequestState state) {
     a.base = nullptr;
   }
   switch (state) {
-    case RequestState::kFinished: ++metrics_.finished; break;
+    case RequestState::kFinished:
+      ++metrics_.finished;
+      metrics_.finished_tokens += static_cast<std::int64_t>(rec.tokens.size());
+      break;
     case RequestState::kCancelled: ++metrics_.cancelled; break;
     case RequestState::kExpired: ++metrics_.expired; break;
     default: break;
@@ -283,6 +326,16 @@ bool Scheduler::admit_locked() {
   // the digital bypass would silently hand out fully-degraded outputs.
   if (in_maintenance_locked()) return false;
   bool admitted_any = false;
+  // Latency-aware policy: bound the prompt tokens co-admitted this step
+  // so one arrival burst doesn't convoy into a single giant prefill that
+  // delays every first token in it. The first prefill of a step is
+  // always admitted (prefill_taken == 0), so an oversized prompt can
+  // never livelock the queue.
+  const bool latency_aware = cfg_.batch_policy == BatchPolicy::kLatencyAware;
+  const std::int64_t prefill_budget = cfg_.prefill_tokens_per_step > 0
+                                          ? cfg_.prefill_tokens_per_step
+                                          : model_.config().max_seq;
+  std::int64_t prefill_taken = 0;
   // Index walk instead of front-pop: backoff-delayed retries are
   // *skipped* (they forfeited their FIFO position), while a ready
   // request blocked on the pool still halts the scan under the queue
@@ -305,6 +358,15 @@ bool Scheduler::admit_locked() {
     if (pit->not_before > step_) {
       ++qi;  // still backing off; younger requests may overtake
       continue;
+    }
+    const std::int64_t prompt_len =
+        static_cast<std::int64_t>(pit->params.prompt.size());
+    if (latency_aware && prefill_taken > 0 &&
+        prefill_taken + prompt_len > prefill_budget) {
+      // Budget spent: later arrivals prefill on subsequent steps. Stop
+      // scanning (no overtake — the same FIFO stance as the pool-full
+      // queue policy).
+      break;
     }
     // Prefix lease first: a hit shrinks both the prefill (only the
     // suffix is computed) and the private slab the budget must cover.
@@ -377,6 +439,7 @@ bool Scheduler::admit_locked() {
     --scan_end;
     running_.push_back(std::move(a));
     admitted_any = true;
+    prefill_taken += prompt_len;
   }
   return admitted_any;
 }
@@ -517,14 +580,44 @@ bool Scheduler::step() {
   // repaired: decode through the non-destructive fp32 bypass instead of
   // stalling the batch. Only step() flips the bypass, and only around
   // this call, so the analog deployment is untouched for everyone else.
-  if (degraded_step) model_.set_digital_bypass(true);
-  Matrix logits = model_.forward_serve(segments_);
-  if (degraded_step) model_.set_digital_bypass(false);
+  Matrix logits;
+  {
+    // Timing on: collect this forward's op trace via the thread-local
+    // sink (ops are emitted from this thread only, so the trace is a
+    // pure function of the batch). Timing off: installs nullptr over
+    // nullptr — a strict no-op.
+    if (hw_timing_) trace_.clear();
+    timing::ScopedTrace traced(hw_timing_ ? &trace_ : nullptr);
+    if (degraded_step) model_.set_digital_bypass(true);
+    logits = model_.forward_serve(segments_);
+    if (degraded_step) model_.set_digital_bypass(false);
+  }
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   lock.lock();
   metrics_.wall_s += dt;
+  if (hw_timing_) {
+    // Replay BEFORE the harvest below: tokens emitted this step carry
+    // the post-step simulated timestamp, exactly as real hardware would
+    // deliver them after the step's latency elapsed.
+    const timing::StepTiming st = hw_timing_->replay(trace_);
+    sim_now_ps_ += st.total_ps;
+    metrics_.sim_time_ps = sim_now_ps_;
+    metrics_.sim_events += st.events;
+    for (const timing::LayerTiming& lt : st.layers) {
+      bool merged = false;
+      for (timing::LayerTiming& acc : timing_layers_) {
+        if (acc.layer == lt.layer) {
+          acc.ps += lt.ps;
+          acc.ops += lt.ops;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) timing_layers_.push_back(lt);
+    }
+  }
 
   // 5. Harvest: greedy argmax of each segment's last row. Survivors are
   // compacted in place (stable order) instead of round-tripping through
@@ -553,6 +646,11 @@ bool Scheduler::step() {
           static_cast<double>(rec.first_token_step - rec.submit_step);
       rec.ttft_s = now_s() - submit_s_[static_cast<std::size_t>(a.id)];
       metrics_.ttft_s.push_back(rec.ttft_s);
+      if (hw_timing_ && rec.sim_submit_ps >= 0) {
+        rec.sim_first_token_ps = sim_now_ps_;
+        metrics_.sim_ttft_us.push_back(
+            static_cast<double>(sim_now_ps_ - rec.sim_submit_ps) * 1e-6);
+      }
     }
     a.pending.assign(1, best);
     --a.remaining;
@@ -650,6 +748,16 @@ std::size_t Scheduler::in_flight() const {
 bool Scheduler::in_maintenance() const {
   std::lock_guard<std::mutex> lock(m_);
   return in_maintenance_locked();
+}
+
+std::int64_t Scheduler::sim_now_ps() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return sim_now_ps_;
+}
+
+std::vector<timing::LayerTiming> Scheduler::timing_layers() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return timing_layers_;
 }
 
 std::vector<ServeEvent> Scheduler::drain_events() {

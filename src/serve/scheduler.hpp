@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -47,6 +48,8 @@
 #include "serve/kv_cache_pool.hpp"
 #include "serve/metrics.hpp"
 #include "serve/serve_error.hpp"
+#include "timing/hw_model.hpp"
+#include "timing/trace.hpp"
 
 namespace nora::serve {
 
@@ -102,6 +105,13 @@ struct RequestRecord {
   /// inside a maintenance window (operators see which outputs were
   /// degraded). Reset when a retry discards the attempt's output.
   std::int64_t degraded_tokens = 0;
+  /// Simulated-hardware clock stamps (picoseconds; -1 until reached,
+  /// all -1 when timing is disabled). Stamps are taken at step
+  /// boundaries of the replayed clock, so they are replay-exact for
+  /// step-synchronous submission.
+  std::int64_t sim_submit_ps = -1;
+  std::int64_t sim_first_token_ps = -1;
+  std::int64_t sim_finish_ps = -1;
 };
 
 /// What a ServeEvent describes. Events are the scheduler's push-side
@@ -145,6 +155,28 @@ struct RetryPolicy {
   /// submission replays the exact same retry schedule, run after run.
   int jitter_steps = 0;
 };
+
+/// How admission grows the batch each step.
+enum class BatchPolicy {
+  /// Greedy batch growth: admit every queued request that fits (slots +
+  /// KV budget). Maximizes occupancy; a burst of long prompts convoys
+  /// behind one giant prefill step and every TTFT in it pays for the
+  /// whole batch.
+  kGrowth,
+  /// Latency-aware: cap the prompt tokens co-admitted per step
+  /// (prefill_tokens_per_step), spreading prefill work across steps so
+  /// early arrivals reach their first token sooner on the simulated
+  /// clock. The first prefill of a step is always admitted regardless
+  /// of budget (no livelock on oversized prompts). Token OUTPUTS are
+  /// identical under either policy — request streams are batch
+  /// invariant — only latency changes.
+  kLatencyAware,
+};
+
+const char* to_string(BatchPolicy policy);
+/// Parses "growth" / "latency" (case-insensitive); throws
+/// std::invalid_argument otherwise.
+BatchPolicy batch_policy_from_string(const std::string& s);
 
 /// What happens to the in-flight batch when a maintenance window opens.
 enum class MaintenancePolicy {
@@ -206,6 +238,17 @@ struct SchedulerConfig {
   /// ServeError::kMaintenance instead of queueing them (load shedding
   /// for callers that would rather fail fast and retry elsewhere).
   bool reject_during_maintenance = false;
+  /// Hardware timing co-simulation (timing.enabled=false is a strict
+  /// no-op on the data path: no trace is installed, no replay runs, sim
+  /// metrics stay zero). When enabled, every busy step's forward trace
+  /// is replayed through timing::HwModel and the simulated clock feeds
+  /// Metrics::sim_* — replay-exact at any host thread count.
+  timing::TimingConfig timing;
+  /// Admission policy (see BatchPolicy).
+  BatchPolicy batch_policy = BatchPolicy::kGrowth;
+  /// kLatencyAware prompt-token budget per step; 0 = model max_seq.
+  /// Negative values are rejected at construction.
+  std::int64_t prefill_tokens_per_step = 0;
 };
 
 /// One consistent cross-section of the scheduler for invariant checking
@@ -276,6 +319,12 @@ class Scheduler {
   /// Empty unless config().record_events. Thread-safe, like submit().
   std::vector<ServeEvent> drain_events();
 
+  /// Simulated-hardware clock (picoseconds; 0 unless timing enabled).
+  std::int64_t sim_now_ps() const;
+  /// Per-layer simulated time accumulated over all replayed steps, in
+  /// first-appearance order. Empty unless timing is enabled.
+  std::vector<timing::LayerTiming> timing_layers() const;
+
   /// Aggregate metrics snapshot (KV pool fields filled from the pool).
   Metrics metrics() const;
   /// Cheap full cross-section for invariant checking (no logits copies).
@@ -329,6 +378,9 @@ class Scheduler {
   nn::TransformerLM& model_;
   SchedulerConfig cfg_;
   KvCachePool pool_;
+  /// Engaged only when cfg_.timing.enabled (construction validates the
+  /// timing config); absent = zero timing work anywhere on the path.
+  std::optional<timing::HwModel> hw_timing_;
 
   mutable std::mutex m_;
   std::chrono::steady_clock::time_point epoch_;
@@ -348,6 +400,12 @@ class Scheduler {
   Metrics metrics_;
   int busy_since_inspect_ = 0;
   double dt_accum_s_ = 0.0;
+  // Timing co-sim state (untouched when hw_timing_ is absent). trace_
+  // is cleared and re-filled by each traced forward; sim_now_ps_
+  // advances by each busy step's replayed duration.
+  timing::Trace trace_;
+  std::int64_t sim_now_ps_ = 0;
+  std::vector<timing::LayerTiming> timing_layers_;
 };
 
 }  // namespace nora::serve

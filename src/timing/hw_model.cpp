@@ -1,0 +1,206 @@
+#include "timing/hw_model.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "timing/event_clock.hpp"
+#include "timing/resource.hpp"
+
+namespace nora::timing {
+
+namespace {
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+bool finite_pos(double v) { return std::isfinite(v) && v > 0.0; }
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+void check_op(const TimingOp& op) {
+  if (op.rows <= 0 || op.k <= 0 || op.n <= 0 || op.row_blocks <= 0 ||
+      op.col_blocks <= 0 || op.macs < 0) {
+    throw std::invalid_argument("HwModel: malformed timing op for layer '" +
+                                op.layer + "'");
+  }
+}
+
+}  // namespace
+
+void TimingConfig::validate() const {
+  if (pipeline_depth < 1) {
+    throw std::invalid_argument("timing: pipeline_depth must be >= 1, got " +
+                                std::to_string(pipeline_depth));
+  }
+  if (!finite_nonneg(dac_frac) || !finite_nonneg(xbar_frac) ||
+      dac_frac + xbar_frac >= 1.0) {
+    throw std::invalid_argument(
+        "timing: stage fractions must be finite, >= 0 and sum below 1 "
+        "(the ADC share is the remainder)");
+  }
+  if (!finite_pos(link_bytes_per_ns)) {
+    throw std::invalid_argument("timing: link_bytes_per_ns must be finite "
+                                "and > 0");
+  }
+  if (!finite_pos(costs.tile_read_latency_ns) ||
+      !finite_pos(costs.digital_macs_per_ns) ||
+      !finite_pos(costs.dram_bytes_per_ns)) {
+    throw std::invalid_argument(
+        "timing: tile_read_latency_ns, digital_macs_per_ns and "
+        "dram_bytes_per_ns must be finite and > 0");
+  }
+}
+
+HwModel::HwModel(const TimingConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  tile_ps_ = std::llround(cfg_.costs.tile_read_latency_ns * 1000.0);
+  if (tile_ps_ <= 0) {
+    throw std::invalid_argument("timing: tile read rounds to <= 0 ps");
+  }
+  dac_ps_ = std::llround(static_cast<double>(tile_ps_) * cfg_.dac_frac);
+  xbar_ps_ = std::llround(static_cast<double>(tile_ps_) * cfg_.xbar_frac);
+  // ADC takes the remainder so the three stages sum to the analytic
+  // constant exactly — the degenerate-case reconciliation depends on it.
+  adc_ps_ = tile_ps_ - dac_ps_ - xbar_ps_;
+}
+
+std::int64_t HwModel::analog_op_ps(const TimingOp& op,
+                                   std::int64_t* events_out) const {
+  check_op(op);
+  const std::int64_t tokens = op.rows;
+  const std::int64_t R = op.row_blocks;
+  const std::int64_t C = op.col_blocks;
+  const std::int64_t depth = cfg_.pipeline_depth;
+
+  // Partial-sum transfer per (row block > 0, column block): one fp32 per
+  // output column of that block. Column widths are reconstructed from the
+  // even n / col_blocks partition the tile grid uses.
+  const std::int64_t base_cols = ceil_div(op.n, C);
+  std::vector<std::int64_t> link_ps_by_col(static_cast<std::size_t>(C));
+  for (std::int64_t c = 0; c < C; ++c) {
+    const std::int64_t width =
+        std::min(base_cols, op.n - c * base_cols) > 0
+            ? std::min(base_cols, op.n - c * base_cols)
+            : base_cols;
+    const double ns = static_cast<double>(width) * 4.0 / cfg_.link_bytes_per_ns;
+    link_ps_by_col[static_cast<std::size_t>(c)] = std::llround(ns * 1000.0);
+  }
+
+  EventClock clock;
+  std::vector<Resource> dac(static_cast<std::size_t>(R));
+  std::vector<Resource> tile(static_cast<std::size_t>(R * C));
+  std::vector<Resource> adc(static_cast<std::size_t>(C));
+  Resource link;
+
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(tokens), R * C);
+  std::int64_t finish_ps = 0;
+
+  // Per-token dataflow: each row block converts the token's input slice
+  // (DAC), every tile in the row fires (crossbar), each column group's
+  // shared ADC serializes the conversions of its R row blocks, and row
+  // blocks beyond the first ship partial sums over the link. A token
+  // completes when all R*C tile results have landed; token t + depth
+  // issues at that instant (sliding in-flight window of `depth` tokens).
+  std::function<void(std::int64_t)> start_token;
+  std::function<void(std::int64_t, std::int64_t)> after_dac;
+  std::function<void(std::int64_t, std::int64_t, std::int64_t)> after_xbar;
+  std::function<void(std::int64_t, std::int64_t, std::int64_t)> after_adc;
+  std::function<void(std::int64_t)> land;
+
+  start_token = [&](std::int64_t t) {
+    for (std::int64_t r = 0; r < R; ++r) {
+      const std::int64_t done =
+          dac[static_cast<std::size_t>(r)].acquire(clock.now_ps(), dac_ps_);
+      clock.schedule_at(done, [&, t, r] { after_dac(t, r); });
+    }
+  };
+  after_dac = [&](std::int64_t t, std::int64_t r) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int64_t done = tile[static_cast<std::size_t>(r * C + c)]
+                                    .acquire(clock.now_ps(), xbar_ps_);
+      clock.schedule_at(done, [&, t, r, c] { after_xbar(t, r, c); });
+    }
+  };
+  after_xbar = [&](std::int64_t t, std::int64_t r, std::int64_t c) {
+    const std::int64_t done =
+        adc[static_cast<std::size_t>(c)].acquire(clock.now_ps(), adc_ps_);
+    clock.schedule_at(done, [&, t, r, c] { after_adc(t, r, c); });
+  };
+  after_adc = [&](std::int64_t t, std::int64_t r, std::int64_t c) {
+    if (r == 0) {
+      land(t);  // row block 0 accumulates in place: no transfer
+      return;
+    }
+    const std::int64_t done = link.acquire(
+        clock.now_ps(), link_ps_by_col[static_cast<std::size_t>(c)]);
+    clock.schedule_at(done, [&, t] { land(t); });
+  };
+  land = [&](std::int64_t t) {
+    if (--remaining[static_cast<std::size_t>(t)] == 0) {
+      finish_ps = std::max(finish_ps, clock.now_ps());
+      const std::int64_t next = t + depth;
+      if (next < tokens) start_token(next);
+    }
+  };
+
+  for (std::int64_t t = 0; t < std::min(depth, tokens); ++t) {
+    start_token(t);
+  }
+  clock.run();
+
+  if (events_out != nullptr) *events_out = clock.processed();
+  return finish_ps;
+}
+
+std::int64_t HwModel::digital_op_ps(const TimingOp& op) const {
+  check_op(op);
+  const std::int64_t macs =
+      op.kind == OpKind::kAttention ? op.macs : op.rows * op.k * op.n;
+  // Same compute-vs-weight-stream bound as cost::digital_linear_cost
+  // (int8 streams 1 byte/weight, attention streams no weights) — kept in
+  // lock-step by test_cost_sim_consistency.
+  const double bytes_per_weight = op.kind == OpKind::kInt8Gemm ? 1.0
+                                  : op.kind == OpKind::kAttention
+                                      ? 0.0
+                                      : 4.0;
+  const double weight_bytes = static_cast<double>(op.k * op.n) * bytes_per_weight;
+  const double compute_ns =
+      static_cast<double>(macs) / cfg_.costs.digital_macs_per_ns;
+  const double mem_ns = weight_bytes / cfg_.costs.dram_bytes_per_ns;
+  return std::llround(std::max(compute_ns, mem_ns) * 1000.0);
+}
+
+std::int64_t HwModel::op_ps(const TimingOp& op,
+                            std::int64_t* events_out) const {
+  if (op.kind == OpKind::kAnalogMvm) return analog_op_ps(op, events_out);
+  if (events_out != nullptr) *events_out = 0;
+  return digital_op_ps(op);
+}
+
+StepTiming HwModel::replay(const Trace& trace) const {
+  StepTiming st;
+  for (const TimingOp& op : trace.ops) {
+    std::int64_t events = 0;
+    const std::int64_t ps = op_ps(op, &events);
+    st.total_ps += ps;
+    st.events += events;
+    LayerTiming* entry = nullptr;
+    for (LayerTiming& lt : st.layers) {
+      if (lt.layer == op.layer) {
+        entry = &lt;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      st.layers.push_back(LayerTiming{op.layer, 0, 0});
+      entry = &st.layers.back();
+    }
+    entry->ps += ps;
+    entry->ops += 1;
+  }
+  return st;
+}
+
+}  // namespace nora::timing

@@ -1,0 +1,31 @@
+#include "timing/trace.hpp"
+
+namespace nora::timing {
+
+namespace {
+thread_local Trace* g_active_trace = nullptr;
+}  // namespace
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAnalogMvm:
+      return "analog_mvm";
+    case OpKind::kDigitalGemm:
+      return "digital_gemm";
+    case OpKind::kInt8Gemm:
+      return "int8_gemm";
+    case OpKind::kAttention:
+      return "attention";
+  }
+  return "unknown";
+}
+
+Trace* active_trace() { return g_active_trace; }
+
+Trace* set_active_trace(Trace* trace) {
+  Trace* prev = g_active_trace;
+  g_active_trace = trace;
+  return prev;
+}
+
+}  // namespace nora::timing

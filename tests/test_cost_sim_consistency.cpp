@@ -3,8 +3,11 @@
 // DAC-sample counters). Keeps the two views of the hardware in sync.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cim/analog_matmul.hpp"
 #include "cost/cost_model.hpp"
+#include "timing/hw_model.hpp"
 
 namespace nora {
 namespace {
@@ -59,6 +62,62 @@ TEST(CostSimConsistency, BoundManagementAddsReads) {
   unit.forward(x);
   EXPECT_GT(unit.stats().bm_retries, 0);
   EXPECT_GT(unit.adc_reads(), 2 * 4);  // more than one pass per token
+}
+
+TEST(CostSimConsistency, EventDrivenDegeneratesToAnalytic) {
+  // A single unpipelined tile has no resource contention, so the
+  // event-driven simulator must land EXACTLY on the analytic model's
+  // tokens x tile_read_latency — the lock-step contract between
+  // timing::HwModel and cost::analog_linear_cost.
+  timing::TimingConfig cfg;
+  cfg.enabled = true;
+  cfg.pipeline_depth = 1;
+  const timing::HwModel hw(cfg);
+
+  const std::int64_t tokens = 7, k = 24, n = 16;
+  timing::TimingOp op;
+  op.kind = timing::OpKind::kAnalogMvm;
+  op.layer = "probe";
+  op.rows = tokens;
+  op.k = k;
+  op.n = n;
+  op.row_blocks = 1;
+  op.col_blocks = 1;
+
+  const cim::TileConfig tile = cim::TileConfig::paper_table2();
+  const auto analytic =
+      cost::analog_linear_cost(k, n, tokens, tile, cfg.costs);
+  EXPECT_EQ(hw.analog_op_ps(op),
+            std::llround(analytic.latency_ns * 1000.0));
+  // And the stage split re-sums to the whole tile read exactly.
+  EXPECT_EQ(hw.dac_ps() + hw.xbar_ps() + hw.adc_ps(), hw.tile_ps());
+
+  // Multi-tile grids only ever ADD serialization (shared ADC column
+  // groups, inter-tile links) on top of the analytic floor.
+  op.row_blocks = 2;
+  op.col_blocks = 3;
+  EXPECT_GT(hw.analog_op_ps(op), std::llround(analytic.latency_ns * 1000.0));
+}
+
+TEST(CostSimConsistency, DigitalOpMatchesAnalyticLatency) {
+  timing::TimingConfig cfg;
+  cfg.enabled = true;
+  const timing::HwModel hw(cfg);
+  const std::int64_t tokens = 5, k = 96, n = 48;
+
+  timing::TimingOp op;
+  op.kind = timing::OpKind::kDigitalGemm;
+  op.layer = "fp32";
+  op.rows = tokens;
+  op.k = k;
+  op.n = n;
+  const auto fp32 = cost::digital_linear_cost(k, n, tokens, 32, cfg.costs);
+  EXPECT_EQ(hw.digital_op_ps(op), std::llround(fp32.latency_ns * 1000.0));
+
+  op.kind = timing::OpKind::kInt8Gemm;
+  op.layer = "int8";
+  const auto int8 = cost::digital_linear_cost(k, n, tokens, 8, cfg.costs);
+  EXPECT_EQ(hw.digital_op_ps(op), std::llround(int8.latency_ns * 1000.0));
 }
 
 }  // namespace

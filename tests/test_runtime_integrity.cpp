@@ -403,6 +403,37 @@ TEST(IntegrityMonitor, PeriodicPolicyRefreshesOnSchedule) {
   EXPECT_THROW(monitor.advance_to(100.0f), std::invalid_argument);
 }
 
+TEST(IntegrityMonitor, VirtualClockZeroAdvanceIsLegal) {
+  // advance_to(now()) is a zero-duration window: legal, side-effect
+  // free, and terminates immediately (only strictly-backward time is
+  // rejected). A zero refresh period likewise means "disabled", not a
+  // zero-length epoch that would refresh every layer on every call.
+  auto model = micro_model();
+  const eval::SynthLambada task(micro_task_cfg());
+  core::DeployOptions opts;
+  opts.tile = cim::TileConfig::ideal();
+  opts.nora.enabled = false;
+  core::deploy_analog(*model, task, opts);
+
+  runtime::MonitorConfig mc;
+  mc.policy = runtime::RefreshPolicy::kPeriodic;
+  mc.refresh_period_s = 100.0f;
+  runtime::IntegrityMonitor monitor(*model, opts.seed, mc);
+  EXPECT_EQ(monitor.advance_to(0.0f), 0);  // zero-advance from t=0
+  monitor.advance_to(50.0f);
+  EXPECT_EQ(monitor.advance_to(50.0f), 0);
+  EXPECT_EQ(monitor.advance_to(50.0f), 0);  // repeatable, no spinning
+  EXPECT_FLOAT_EQ(monitor.now(), 50.0f);
+  EXPECT_EQ(monitor.total_refreshes(), 0);
+
+  runtime::MonitorConfig zero;
+  zero.policy = runtime::RefreshPolicy::kPeriodic;
+  zero.refresh_period_s = 0.0f;
+  runtime::IntegrityMonitor disabled(*model, opts.seed, zero);
+  EXPECT_EQ(disabled.advance_to(1e6f), 0);
+  EXPECT_EQ(disabled.total_refreshes(), 0);
+}
+
 TEST(IntegrityMonitor, NeverPolicyObservesWithoutActing) {
   auto model = micro_model();
   const eval::SynthLambada task(micro_task_cfg());
