@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/simd.hpp"
 #include "util/simd_kernels.hpp"
@@ -71,10 +72,11 @@ AnalogMatmul::AnalogMatmul(const Matrix& w, std::vector<float> s,
   }
 }
 
-void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
-                                 std::span<const float> xrow, float avg_alpha_b,
-                                 std::uint64_t epoch, std::span<float> y,
-                                 BlockWork& work) const {
+void AnalogMatmul::run_work_item(std::size_t b, std::size_t ti0,
+                                 std::size_t ti1, bool commit_dac,
+                                 std::uint64_t t, std::span<const float> xrow,
+                                 float avg_alpha_b, std::uint64_t epoch,
+                                 std::span<float> y, BlockWork& work) const {
   const RowBlock& block = blocks_[b];
   const std::int64_t nk = block.k1 - block.k0;
   // Per-thread workspace: pool workers (and the calling thread) are
@@ -195,9 +197,15 @@ void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
     const float x_l2 = static_cast<float>(std::sqrt(l2));
     const std::span<const float> x_hat(xhat.data(),
                                        static_cast<std::size_t>(nk));
-    std::fill(y.begin(), y.end(), 0.0f);
+    // Zero exactly the owned tiles' output spans (the full row when the
+    // item owns the whole block — the tile columns tile [0, n) exactly).
+    for (std::size_t ti = ti0; ti < ti1; ++ti) {
+      auto span = y.subspan(static_cast<std::size_t>(block.col0[ti]),
+                            static_cast<std::size_t>(block.tiles[ti]->cols()));
+      std::fill(span.begin(), span.end(), 0.0f);
+    }
     bool saturated = false;
-    for (std::size_t ti = 0; ti < block.tiles.size(); ++ti) {
+    for (std::size_t ti = ti0; ti < ti1; ++ti) {
       const AnalogTile& tile = *block.tiles[ti];
       util::Rng tile_rng(util::derive_stream(work_key, 1 + ti));
       const bool abft = tile.abft_enabled();
@@ -211,8 +219,10 @@ void AnalogMatmul::run_work_item(std::size_t b, std::uint64_t t,
                    ws.tile);
     }
     if (!saturated || !cfg_.bound_management || iter >= cfg_.bm_max_iters) {
-      work.stats.dac_samples += dac_samples;
-      work.stats.dac_clipped += dac_clipped;
+      if (commit_dac) {
+        work.stats.dac_samples += dac_samples;
+        work.stats.dac_clipped += dac_clipped;
+      }
       break;
     }
     alpha *= 2.0f;
@@ -311,6 +321,10 @@ Matrix AnalogMatmul::forward_impl(const Matrix& x,
   std::vector<BlockWork>& works = works_;
   for (std::int64_t tc0 = 0; tc0 < t_count; tc0 += chunk) {
     const std::int64_t tc1 = std::min(t_count, tc0 + chunk);
+    if (sharded_) {
+      run_chunk_sharded(x, keys, epoch, tc0, tc1, n_groups, y);
+      continue;
+    }
     const std::int64_t items = (tc1 - tc0) * n_blocks;
     partial.resize(static_cast<std::size_t>(items * n_));
     works.assign(static_cast<std::size_t>(items), BlockWork{});
@@ -322,7 +336,7 @@ Matrix AnalogMatmul::forward_impl(const Matrix& x,
       const std::uint64_t row_token =
           keyed ? keys[static_cast<std::size_t>(t)].token
                 : static_cast<std::uint64_t>(t);
-      run_work_item(b, row_token, x.row(t),
+      run_work_item(b, 0, blocks_[b].tiles.size(), true, row_token, x.row(t),
                     avg_alpha[b * static_cast<std::size_t>(n_groups) +
                               static_cast<std::size_t>(
                                   group_of[static_cast<std::size_t>(t)])],
@@ -363,6 +377,133 @@ Matrix AnalogMatmul::forward_impl(const Matrix& x,
     }
   }
   return y;
+}
+
+void AnalogMatmul::set_shard_plan(ShardPlan plan) {
+  if (plan.n_chips < 1) {
+    throw std::invalid_argument("AnalogMatmul: shard plan needs >= 1 chip");
+  }
+  if (plan.pools.size() != static_cast<std::size_t>(plan.n_chips)) {
+    throw std::invalid_argument(
+        "AnalogMatmul: shard plan needs one pool slot per chip");
+  }
+  shard_ = std::move(plan);
+  sharded_ = true;
+}
+
+void AnalogMatmul::clear_shard_plan() {
+  shard_ = ShardPlan{};
+  sharded_ = false;
+}
+
+void AnalogMatmul::run_chunk_sharded(const Matrix& x,
+                                     std::span<const StreamKey> keys,
+                                     std::uint64_t epoch, std::int64_t tc0,
+                                     std::int64_t tc1, std::int64_t n_groups,
+                                     Matrix& y) {
+  const bool keyed = !keys.empty();
+  const std::int64_t n_blocks = static_cast<std::int64_t>(blocks_.size());
+  const std::int64_t n_cols = col_blocks();
+  const std::int64_t rows = tc1 - tc0;
+  const std::int64_t slots = rows * n_blocks;   // (token, row-block) rows
+  const std::int64_t items = slots * n_cols;    // (token, row-block, tile)
+  partial_.resize(static_cast<std::size_t>(slots * n_));
+  works_.assign(static_cast<std::size_t>(items), BlockWork{});
+  auto run_item = [&](std::int64_t i) {
+    const std::int64_t t = tc0 + i / (n_blocks * n_cols);
+    const std::int64_t rem = i % (n_blocks * n_cols);
+    const std::size_t b = static_cast<std::size_t>(rem / n_cols);
+    const std::size_t ti = static_cast<std::size_t>(rem % n_cols);
+    const std::uint64_t row_epoch =
+        keyed ? keys[static_cast<std::size_t>(t)].stream : epoch;
+    const std::uint64_t row_token =
+        keyed ? keys[static_cast<std::size_t>(t)].token
+              : static_cast<std::uint64_t>(t);
+    const std::int64_t slot = (t - tc0) * n_blocks + static_cast<std::int64_t>(b);
+    run_work_item(b, ti, ti + 1, ti == 0, row_token, x.row(t),
+                  avg_alpha_[b * static_cast<std::size_t>(n_groups) +
+                             static_cast<std::size_t>(
+                                 group_of_[static_cast<std::size_t>(t)])],
+                  row_epoch,
+                  std::span<float>(partial_.data() + slot * n_,
+                                   static_cast<std::size_t>(n_)),
+                  works_[static_cast<std::size_t>(i)]);
+  };
+  // Chip ownership: ceil-balanced CONTIGUOUS ranges of the shard axis
+  // (row blocks or tile columns). Each chip's item list is a pure
+  // function of (grid shape, plan), never of execution order; every item
+  // lands on exactly one chip, so any plan runs the identical item set.
+  const int n_chips = shard_.n_chips;
+  const std::int64_t extent =
+      shard_.axis == ShardAxis::kRowBlocks ? n_blocks : n_cols;
+  if (static_cast<int>(chip_items_.size()) != n_chips) {
+    chip_items_.resize(static_cast<std::size_t>(n_chips));
+  }
+  for (auto& list : chip_items_) list.clear();
+  for (std::int64_t i = 0; i < items; ++i) {
+    const std::int64_t rem = i % (n_blocks * n_cols);
+    const std::int64_t e = shard_.axis == ShardAxis::kRowBlocks
+                               ? rem / n_cols
+                               : rem % n_cols;
+    // element e -> chip floor(e * n_chips / extent) of the balanced split
+    const std::int64_t chip = extent > 0 ? e * n_chips / extent : 0;
+    chip_items_[static_cast<std::size_t>(chip)].push_back(i);
+  }
+  // Chips execute concurrently (outer fan over the global pool), each
+  // draining its own item list on its own pool domain. Items write
+  // disjoint column spans of their (token, row-block) partial row and
+  // private BlockWork slots, so the fan-out is race-free by layout.
+  util::ThreadPool& host = util::ThreadPool::global();
+  host.ensure(n_chips);
+  host.parallel_for(n_chips, [&](std::int64_t c) {
+    const auto& list = chip_items_[static_cast<std::size_t>(c)];
+    if (list.empty()) return;
+    util::ThreadPool* pool = shard_.pools[static_cast<std::size_t>(c)];
+    auto run_local = [&](std::int64_t j) {
+      run_item(list[static_cast<std::size_t>(j)]);
+    };
+    const std::int64_t local = static_cast<std::int64_t>(list.size());
+    if (pool != nullptr && pool->threads() > 1) {
+      pool->parallel_for(local, run_local);
+    } else {
+      for (std::int64_t j = 0; j < local; ++j) run_local(j);
+    }
+  });
+  // Deterministic reduction, independent of the plan: statistics fold
+  // serially in canonical (token, row-block, tile) order, partial sums
+  // reduce over row blocks through a canonical stride-doubling tree —
+  // the digital all-reduce a real multi-chip system would run, with a
+  // bracketing that is a pure function of the row-block count.
+  for (std::int64_t t = tc0; t < tc1; ++t) {
+    for (std::int64_t b = 0; b < n_blocks; ++b) {
+      auto& tiles = blocks_[static_cast<std::size_t>(b)].tiles;
+      for (std::int64_t ti = 0; ti < n_cols; ++ti) {
+        const std::int64_t i = ((t - tc0) * n_blocks + b) * n_cols + ti;
+        BlockWork& work = works_[static_cast<std::size_t>(i)];
+        stats_.accumulate(work.stats);
+        tiles[static_cast<std::size_t>(ti)]->add_run_counters(
+            work.tiles[static_cast<std::size_t>(ti)]);
+      }
+    }
+    float* base = partial_.data() + (t - tc0) * n_blocks * n_;
+    for (std::int64_t stride = 1; stride < n_blocks; stride *= 2) {
+      for (std::int64_t b = 0; b + stride < n_blocks; b += 2 * stride) {
+        float* dst = base + b * n_;
+        const float* src = base + (b + stride) * n_;
+        for (std::int64_t j = 0; j < n_; ++j) dst[j] += src[j];
+      }
+    }
+    auto yrow = y.row(t);
+    for (std::int64_t j = 0; j < n_; ++j) yrow[j] = base[j];
+    for (std::int64_t j = 0; j < n_; ++j) {
+      if (!std::isfinite(yrow[j])) {
+        throw std::runtime_error(
+            "AnalogMatmul[" + (label_.empty() ? "?" : label_) +
+            "]: non-finite output at token " + std::to_string(t) +
+            ", column " + std::to_string(j));
+      }
+    }
+  }
 }
 
 void AnalogMatmul::set_read_time(float t_seconds) {

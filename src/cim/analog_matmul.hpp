@@ -24,7 +24,35 @@
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
 
+namespace nora::util {
+class ThreadPool;
+}
+
 namespace nora::cim {
+
+/// Which tile-grid axis a multi-chip shard plan partitions.
+enum class ShardAxis : std::uint8_t {
+  kRowBlocks = 0,  // chip owns a contiguous row-block range (row split:
+                   // every chip produces full-width partial sums)
+  kColBlocks,      // chip owns a contiguous tile-column range (column
+                   // split: chips produce disjoint output columns)
+};
+
+/// Multi-chip execution plan for ONE AnalogMatmul: the logical tile grid
+/// stays a single unit (weights, streams and statistics are untouched),
+/// but its (token, row-block, tile) work items are partitioned over
+/// `n_chips` contiguous ranges of `axis`, each executed on that chip's
+/// own ThreadPool domain. Because the sharded path always runs at
+/// per-tile work-item granularity with a canonical-order reduction, the
+/// output bits are invariant under axis, chip count AND per-chip thread
+/// count — the plan only decides WHERE each item runs.
+struct ShardPlan {
+  ShardAxis axis = ShardAxis::kRowBlocks;
+  int n_chips = 1;
+  /// One pool per chip (the chip's compute domain); a nullptr entry runs
+  /// that chip's items on the dispatching thread.
+  std::vector<util::ThreadPool*> pools;
+};
 
 /// Explicit per-row noise-stream coordinates for the keyed forward
 /// overload. `stream` replaces the forward-call epoch and `token`
@@ -114,6 +142,24 @@ class AnalogMatmul {
   /// PCM drift: re-read all tiles t seconds after programming.
   void set_read_time(float t_seconds);
 
+  // --- multi-chip sharding ---
+  /// Install a multi-chip execution plan (see ShardPlan). Validates that
+  /// pools has exactly plan.n_chips entries and n_chips >= 1; throws
+  /// std::invalid_argument otherwise. Must not be called while a forward
+  /// is in flight. The sharded path differs from the unsharded one in
+  /// two DOCUMENTED, deterministic ways: (a) partial sums reduce over
+  /// row blocks through a canonical stride-doubling tree instead of the
+  /// legacy linear fold, and (b) bound management retries per TILE
+  /// rather than per row block (each chip re-runs only its own arrays,
+  /// so alpha_count counts per-tile attempts). Neither depends on the
+  /// plan: any (axis, n_chips, threads) choice yields identical bits.
+  void set_shard_plan(ShardPlan plan);
+  /// Return to the unsharded execution path.
+  void clear_shard_plan();
+  bool sharded() const { return sharded_; }
+  /// The installed plan, or nullptr when unsharded.
+  const ShardPlan* shard_plan() const { return sharded_ ? &shard_ : nullptr; }
+
   // --- analytics for Fig. 6 ---
   /// Mean per-column gamma over all tiles.
   double mean_gamma() const;
@@ -175,15 +221,29 @@ class AnalogMatmul {
     std::vector<TileRunCounters> tiles;  // one per column-block tile
   };
 
-  /// Run one (token, row-block) work item: input rescale -> DAC ->
-  /// non-idealities -> tile MVMs, with the bound-management retry loop
-  /// inside. All randomness comes from streams keyed on (epoch, t, b,
-  /// attempt, tile); all mutable state lives in `y` and `work`.
-  /// Thread-safe for concurrent calls with distinct (t, b).
-  void run_work_item(std::size_t b, std::uint64_t t,
+  /// Run one (token, row-block, tile-range) work item: input rescale ->
+  /// DAC -> non-idealities -> tile MVMs over tiles [ti0, ti1), with the
+  /// bound-management retry loop inside. All randomness comes from
+  /// streams keyed on (epoch, t, b, attempt, tile) with GLOBAL tile
+  /// indices, so any partition of a block's tiles into work items draws
+  /// identical bits. `y` is the block's full output row (width n_); the
+  /// item touches only its owned tiles' column spans. `commit_dac` dedups
+  /// the per-block DAC traffic counters when a block is split into
+  /// several items (exactly one of them — tiles [0, x) — commits).
+  /// Thread-safe for concurrent calls with distinct (t, b, tile-range).
+  void run_work_item(std::size_t b, std::size_t ti0, std::size_t ti1,
+                     bool commit_dac, std::uint64_t t,
                      std::span<const float> xrow, float avg_alpha_b,
                      std::uint64_t epoch, std::span<float> y,
                      BlockWork& work) const;
+
+  /// Sharded execution of one token chunk [tc0, tc1): per-tile work
+  /// items fan out over the plan's chip pools, then partial sums reduce
+  /// through the canonical tree and statistics fold in (t, b, tile)
+  /// order. Bit-identical for any plan.
+  void run_chunk_sharded(const Matrix& x, std::span<const StreamKey> keys,
+                         std::uint64_t epoch, std::int64_t tc0,
+                         std::int64_t tc1, std::int64_t n_groups, Matrix& y);
 
   /// Shared body of both forward overloads; `keys` empty selects the
   /// legacy (epoch, row-index) keying.
@@ -218,6 +278,11 @@ class AnalogMatmul {
   std::vector<float> avg_alpha_;
   std::vector<float> partial_;
   std::vector<BlockWork> works_;
+  // multi-chip execution plan (see set_shard_plan) + per-chip item lists
+  // (scratch, same reuse story as the buffers above)
+  ShardPlan shard_;
+  bool sharded_ = false;
+  std::vector<std::vector<std::int64_t>> chip_items_;
 };
 
 }  // namespace nora::cim

@@ -46,6 +46,12 @@ struct DeviceCosts {
   double dram_pj_per_byte = 20.0;
   double sram_pj_per_byte = 1.0;
   double dram_bytes_per_ns = 64.0;
+  // Inter-chip link (multi-chip sharding): per-hop launch latency plus
+  // serialization bandwidth for activations and fp32 partial sums moving
+  // between chips (SerDes-class link, far slower than the on-chip
+  // partial-sum bus).
+  double chip_link_latency_ns = 20.0;
+  double chip_link_bytes_per_ns = 32.0;
 };
 
 /// Cost of running `tokens` activations through one [k x n] linear layer.

@@ -46,6 +46,10 @@ DeviceCosts device_costs_from_cli(const util::Cli& cli,
       read_cost(cli, "sram-pj-per-byte", base.sram_pj_per_byte, false);
   d.dram_bytes_per_ns =
       read_cost(cli, "dram-bytes-per-ns", base.dram_bytes_per_ns, true);
+  d.chip_link_latency_ns =
+      read_cost(cli, "chip-link-ns", base.chip_link_latency_ns, false);
+  d.chip_link_bytes_per_ns = read_cost(cli, "chip-link-bytes-per-ns",
+                                       base.chip_link_bytes_per_ns, true);
   return d;
 }
 

@@ -15,10 +15,11 @@ namespace nora::cost {
 ///   --adc-fom-fj --dac-fom-fj --cell-read-fj --tile-read-ns
 ///   --cell-area-um2 --adc-area-um2 --fp32-mac-pj --int8-mac-pj
 ///   --digital-macs-per-ns --dram-pj-per-byte --sram-pj-per-byte
-///   --dram-bytes-per-ns
+///   --dram-bytes-per-ns --chip-link-ns --chip-link-bytes-per-ns
 /// Throws std::invalid_argument naming the flag and offending value when
 /// a value is negative or non-finite, or when --tile-read-ns /
-/// --digital-macs-per-ns / --dram-bytes-per-ns is zero.
+/// --digital-macs-per-ns / --dram-bytes-per-ns /
+/// --chip-link-bytes-per-ns is zero.
 DeviceCosts device_costs_from_cli(const util::Cli& cli,
                                   const DeviceCosts& base = {});
 

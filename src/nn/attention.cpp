@@ -212,6 +212,7 @@ Matrix CausalSelfAttention::forward_serve(const Matrix& x,
     op.k = d_model_;
     op.n = d_model_;
     op.macs = macs;
+    op.chip = timing_chip_;
     timing::record(std::move(op));
   }
   // Append this step's K/V rows directly into each sequence's cache:

@@ -46,6 +46,7 @@ class CausalSelfAttention {
                       std::int64_t n_heads, std::int64_t max_seq,
                       util::Rng& rng, float init_std);
 
+  const std::string& name() const { return name_; }
   std::int64_t d_model() const { return d_model_; }
   std::int64_t n_heads() const { return n_heads_; }
 
@@ -77,11 +78,18 @@ class CausalSelfAttention {
 
   Linear& qkv() { return qkv_; }
   Linear& out_proj() { return out_proj_; }
+
+  /// Pipeline placement stamp for the timing co-sim (see
+  /// Linear::set_timing_chip): covers the digital score/context op; the
+  /// qkv/out projections carry their own stamps.
+  void set_timing_chip(int chip) { timing_chip_ = chip; }
+  int timing_chip() const { return timing_chip_; }
   void collect_params(ParamRefs& out);
   void collect_linears(std::vector<Linear*>& out);
 
  private:
   std::string name_;
+  int timing_chip_ = 0;
   std::int64_t d_model_ = 0;
   std::int64_t n_heads_ = 0;
   std::int64_t d_head_ = 0;

@@ -31,10 +31,20 @@ void Linear::record_timing(std::int64_t rows) const {
   op.k = in_dim();
   op.n = out_dim();
   op.macs = rows * op.k * op.n;
+  op.chip = timing_chip_;
   if (analog_ && !digital_bypass_) {
     op.kind = timing::OpKind::kAnalogMvm;
     op.row_blocks = analog_->row_blocks();
     op.col_blocks = analog_->col_blocks();
+    // Multi-chip stamps mirror the EXECUTED shard plan, so the timing
+    // co-sim models exactly the partitioning the bits ran under.
+    if (const cim::ShardPlan* plan = analog_->shard_plan();
+        plan != nullptr && plan->n_chips > 1) {
+      op.tp_chips = plan->n_chips;
+      op.tp_axis = plan->axis == cim::ShardAxis::kRowBlocks
+                       ? timing::ShardAxis::kRowBlocks
+                       : timing::ShardAxis::kColBlocks;
+    }
   } else if (int8_ && !digital_bypass_) {
     op.kind = timing::OpKind::kInt8Gemm;
   } else {

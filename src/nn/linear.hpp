@@ -59,6 +59,12 @@ class Linear {
   cim::AnalogMatmul* analog() { return analog_.get(); }
   const cim::AnalogMatmul* analog() const { return analog_.get(); }
 
+  /// Pipeline placement stamp for the timing co-sim: the chip this
+  /// layer's ops execute on (TimingOp::chip). Pure metadata — it never
+  /// changes what the layer computes. Set by shard::apply_plan.
+  void set_timing_chip(int chip) { timing_chip_ = chip; }
+  int timing_chip() const { return timing_chip_; }
+
   /// Non-destructive digital detour: while set, forwards run the exact
   /// fp32 GEMM but the analog (or INT8) backend stays programmed and
   /// resumes untouched when the bypass clears. This is the serving
@@ -94,6 +100,7 @@ class Linear {
   Param w_;  // [in x out]
   Param b_;  // [1 x out]
   std::unique_ptr<cim::AnalogMatmul> analog_;
+  int timing_chip_ = 0;
   bool digital_bypass_ = false;
   bool int8_ = false;
   std::vector<float> int8_s_;

@@ -1,5 +1,6 @@
 #include "runtime/integrity_monitor.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <stdexcept>
@@ -195,6 +196,30 @@ int IntegrityMonitor::total_fallbacks() const {
   int n = 0;
   for (const auto& h : health_) n += h.fallback ? 1 : 0;
   return n;
+}
+
+std::vector<ChipHealth> IntegrityMonitor::chip_health() const {
+  int max_chip = 0;
+  for (const nn::Linear* lin : linears_) {
+    max_chip = std::max(max_chip, lin->timing_chip());
+  }
+  std::vector<ChipHealth> chips(static_cast<std::size_t>(max_chip + 1));
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    chips[c].chip = static_cast<int>(c);
+  }
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    const int c = linears_[i]->timing_chip();
+    ChipHealth& ch = chips[static_cast<std::size_t>(c)];
+    const LayerHealth& h = health_[i];
+    ch.layers += 1;
+    ch.analog_layers += h.analog ? 1 : 0;
+    ch.rereads += h.rereads;
+    ch.refreshes += h.refreshes;
+    ch.fallbacks += h.fallback ? 1 : 0;
+    ch.max_flag_ewma = std::max(ch.max_flag_ewma, h.flag_ewma);
+    ch.max_sat_ewma = std::max(ch.max_sat_ewma, h.sat_ewma);
+  }
+  return chips;
 }
 
 }  // namespace nora::runtime

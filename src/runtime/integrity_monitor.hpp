@@ -88,6 +88,21 @@ struct LayerHealth {
   std::string last_reason;       // latest escalation trigger
 };
 
+/// Per-chip aggregation of LayerHealth for multi-chip deployments (each
+/// layer carries its pipeline-placement chip via Linear::timing_chip,
+/// stamped by shard::apply_plan; an unsharded model aggregates into the
+/// single chip 0).
+struct ChipHealth {
+  int chip = 0;
+  std::int64_t layers = 0;       // monitored layers placed on this chip
+  std::int64_t analog_layers = 0;  // of which still on the analog backend
+  std::int64_t rereads = 0;      // summed rung-1 actions
+  std::int64_t refreshes = 0;    // summed rung-2 actions
+  int fallbacks = 0;             // rung-3 layers on this chip
+  double max_flag_ewma = 0.0;    // worst ABFT flag-rate EWMA on the chip
+  double max_sat_ewma = 0.0;     // worst ADC saturation EWMA on the chip
+};
+
 class IntegrityMonitor {
  public:
   /// The model must already be analog-deployed; `deploy_seed` is the
@@ -118,6 +133,11 @@ class IntegrityMonitor {
 
   const std::vector<LayerHealth>& health() const { return health_; }
   const LayerHealth* find(const std::string& layer) const;
+
+  /// Aggregate health() by each layer's placement chip (indexed 0..max
+  /// chip stamp, so every chip of the deployment appears even when
+  /// healthy). One entry covering chip 0 for unsharded models.
+  std::vector<ChipHealth> chip_health() const;
 
   std::int64_t total_rereads() const;
   std::int64_t total_refreshes() const;

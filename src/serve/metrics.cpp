@@ -57,7 +57,23 @@ std::string fmt(const char* format, double v) {
 }
 }  // namespace
 
+Metrics::Snapshot Metrics::snapshot() const {
+  Snapshot snap;
+  const double qs[] = {0.5, 0.95};
+  const std::vector<double> ttft_q = percentiles(ttft_s, qs);
+  snap.ttft_p50_s = ttft_q[0];
+  snap.ttft_p95_s = ttft_q[1];
+  const std::vector<double> sim_ttft_q = percentiles(sim_ttft_us, qs);
+  snap.sim_ttft_p50_us = sim_ttft_q[0];
+  snap.sim_ttft_p95_us = sim_ttft_q[1];
+  const std::vector<double> sim_tpot_q = percentiles(sim_tpot_us, qs);
+  snap.sim_tpot_p50_us = sim_tpot_q[0];
+  snap.sim_tpot_p95_us = sim_tpot_q[1];
+  return snap;
+}
+
 std::string Metrics::to_string() const {
+  const Snapshot snap = snapshot();
   std::string s;
   s += "serving metrics\n";
   s += "  requests: " + std::to_string(submitted) + " submitted, " +
@@ -95,12 +111,9 @@ std::string Metrics::to_string() const {
        std::to_string(steps) + " steps, mean occupancy " +
        fmt("%.2f", mean_occupancy()) + ", max " +
        std::to_string(max_occupancy) + "\n";
-  // Both TTFT quantiles from one sorted pass over the samples.
-  const double qs[] = {0.5, 0.95};
-  const std::vector<double> ttft_q = percentiles(ttft_s, qs);
   s += "  latency:  queue wait mean " + fmt("%.2f", mean_queue_wait_steps()) +
-       " steps; TTFT p50 " + fmt("%.4f", ttft_q[0]) + " s, p95 " +
-       fmt("%.4f", ttft_q[1]) + " s\n";
+       " steps; TTFT p50 " + fmt("%.4f", snap.ttft_p50_s) + " s, p95 " +
+       fmt("%.4f", snap.ttft_p95_s) + " s\n";
   s += "  kv pool:  " + std::to_string(kv_used_tokens) + " / " +
        std::to_string(kv_budget_tokens) + " tokens in use, high water " +
        std::to_string(kv_high_water_tokens) + " tokens";
@@ -123,19 +136,25 @@ std::string Metrics::to_string() const {
   s += "  monitor:  " + std::to_string(monitor_inspections) +
        " inspections, " + std::to_string(monitor_actions) + " actions\n";
   if (sim_time_ps > 0) {
-    const std::vector<double> sim_ttft_q = percentiles(sim_ttft_us, qs);
     s += "  sim time: " + fmt("%.1f", static_cast<double>(sim_time_ps) * 1e-6) +
          " us over " + std::to_string(sim_events) + " events; " +
          fmt("%.0f", sim_tokens_per_s()) + " tok/s, goodput " +
          fmt("%.0f", sim_goodput_tokens_per_s()) + " tok/s\n";
-    s += "  sim lat:  TTFT p50 " + fmt("%.1f", sim_ttft_q[0]) + " us, p95 " +
-         fmt("%.1f", sim_ttft_q[1]) + " us; TPOT p50 " +
-         fmt("%.2f", sim_tpot_p50_us()) + " us\n";
+    s += "  sim lat:  TTFT p50 " + fmt("%.1f", snap.sim_ttft_p50_us) +
+         " us, p95 " + fmt("%.1f", snap.sim_ttft_p95_us) + " us; TPOT p50 " +
+         fmt("%.2f", snap.sim_tpot_p50_us) + " us, p95 " +
+         fmt("%.2f", snap.sim_tpot_p95_us) + " us\n";
+    if (sim_link_transfers > 0) {
+      s += "  sim link: " +
+           fmt("%.1f", static_cast<double>(sim_link_ps) * 1e-6) + " us over " +
+           std::to_string(sim_link_transfers) + " inter-chip transfers\n";
+    }
   }
   return s;
 }
 
 std::string Metrics::to_json() const {
+  const Snapshot snap = snapshot();
   std::string s = "{";
   auto add_i = [&s](const char* k, std::int64_t v, bool comma = true) {
     s += std::string("\"") + k + "\":" + std::to_string(v);
@@ -182,13 +201,8 @@ std::string Metrics::to_json() const {
   add_d("wall_s", wall_s);
   add_d("tokens_per_s", tokens_per_s());
   add_d("mean_queue_wait_steps", mean_queue_wait_steps());
-  {
-    // One sorted pass serves both TTFT quantiles.
-    const double qs[] = {0.5, 0.95};
-    const std::vector<double> ttft_q = percentiles(ttft_s, qs);
-    add_d("ttft_p50_s", ttft_q[0]);
-    add_d("ttft_p95_s", ttft_q[1]);
-  }
+  add_d("ttft_p50_s", snap.ttft_p50_s);
+  add_d("ttft_p95_s", snap.ttft_p95_s);
   add_i("kv_budget_tokens", kv_budget_tokens);
   add_i("kv_used_tokens", kv_used_tokens);
   add_i("kv_high_water_tokens", kv_high_water_tokens);
@@ -206,13 +220,12 @@ std::string Metrics::to_json() const {
   add_i("finished_tokens", finished_tokens);
   add_d("sim_tokens_per_s", sim_tokens_per_s());
   add_d("sim_goodput_tokens_per_s", sim_goodput_tokens_per_s());
-  {
-    const double qs[] = {0.5, 0.95};
-    const std::vector<double> sim_ttft_q = percentiles(sim_ttft_us, qs);
-    add_d("sim_ttft_p50_us", sim_ttft_q[0]);
-    add_d("sim_ttft_p95_us", sim_ttft_q[1]);
-  }
-  add_d("sim_tpot_p50_us", sim_tpot_p50_us(), /*comma=*/false);
+  add_d("sim_ttft_p50_us", snap.sim_ttft_p50_us);
+  add_d("sim_ttft_p95_us", snap.sim_ttft_p95_us);
+  add_d("sim_tpot_p50_us", snap.sim_tpot_p50_us);
+  add_d("sim_tpot_p95_us", snap.sim_tpot_p95_us);
+  add_i("sim_link_ps", sim_link_ps);
+  add_i("sim_link_transfers", sim_link_transfers, /*comma=*/false);
   s += "}";
   return s;
 }

@@ -106,6 +106,10 @@ struct Metrics {
   std::int64_t finished_tokens = 0;  // tokens of requests that FINISHED
   std::vector<double> sim_ttft_us;   // submit -> first token, sim clock
   std::vector<double> sim_tpot_us;   // per-token decode interval, sim clock
+  // Inter-chip traffic from pipelined replay (zero when shard_replay is
+  // off or every op sits on one chip).
+  std::int64_t sim_link_ps = 0;        // sim time spent on chip-to-chip links
+  std::int64_t sim_link_transfers = 0;  // individual link transfer events
 
   double mean_occupancy() const {
     return busy_steps > 0 ? occupancy_sum / static_cast<double>(busy_steps)
@@ -136,9 +140,25 @@ struct Metrics {
   double sim_ttft_p50_us() const { return percentile(sim_ttft_us, 0.5); }
   double sim_ttft_p95_us() const { return percentile(sim_ttft_us, 0.95); }
   double sim_tpot_p50_us() const { return percentile(sim_tpot_us, 0.5); }
+  double sim_tpot_p95_us() const { return percentile(sim_tpot_us, 0.95); }
   std::int64_t rejected_with(ServeError code) const {
     return rejected_by_code[static_cast<std::size_t>(code)];
   }
+
+  /// One consistent read of every derived quantile. Both renderers go
+  /// through this, so the console dump and /metrics JSON can never
+  /// disagree on a percentile (each sample vector is sorted exactly
+  /// once per snapshot; the old code computed them independently per
+  /// renderer and could diverge when samples landed between the calls).
+  struct Snapshot {
+    double ttft_p50_s = 0.0;
+    double ttft_p95_s = 0.0;
+    double sim_ttft_p50_us = 0.0;
+    double sim_ttft_p95_us = 0.0;
+    double sim_tpot_p50_us = 0.0;
+    double sim_tpot_p95_us = 0.0;
+  };
+  Snapshot snapshot() const;
 
   /// Multi-line human-readable dump.
   std::string to_string() const;

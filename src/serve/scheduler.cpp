@@ -79,6 +79,10 @@ Scheduler::Scheduler(nn::TransformerLM& model, SchedulerConfig cfg)
   if (cfg_.prefill_tokens_per_step < 0) {
     throw std::invalid_argument("Scheduler: negative prefill_tokens_per_step");
   }
+  if (cfg_.shard_replay && !cfg_.timing.enabled) {
+    throw std::invalid_argument(
+        "Scheduler: shard_replay requires timing.enabled");
+  }
   if (cfg_.timing.enabled) {
     hw_timing_.emplace(cfg_.timing);  // validates the timing config
   }
@@ -601,10 +605,14 @@ bool Scheduler::step() {
     // Replay BEFORE the harvest below: tokens emitted this step carry
     // the post-step simulated timestamp, exactly as real hardware would
     // deliver them after the step's latency elapsed.
-    const timing::StepTiming st = hw_timing_->replay(trace_);
+    const timing::StepTiming st = cfg_.shard_replay
+                                      ? hw_timing_->replay_pipelined(trace_)
+                                      : hw_timing_->replay(trace_);
     sim_now_ps_ += st.total_ps;
     metrics_.sim_time_ps = sim_now_ps_;
     metrics_.sim_events += st.events;
+    metrics_.sim_link_ps += st.link_ps;
+    metrics_.sim_link_transfers += st.link_transfers;
     for (const timing::LayerTiming& lt : st.layers) {
       bool merged = false;
       for (timing::LayerTiming& acc : timing_layers_) {

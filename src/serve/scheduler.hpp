@@ -244,6 +244,14 @@ struct SchedulerConfig {
   /// is replayed through timing::HwModel and the simulated clock feeds
   /// Metrics::sim_* — replay-exact at any host thread count.
   timing::TimingConfig timing;
+  /// Multi-chip replay: busy steps replay through
+  /// timing::HwModel::replay_pipelined — microbatches flow through the
+  /// chip pipeline the trace ops' chip/tensor-parallel stamps describe
+  /// (stamped by shard::apply_plan), and inter-chip transfer events
+  /// feed Metrics::sim_link_*. Requires timing.enabled; meaningless
+  /// (but harmless — it degenerates to a microbatched serial chain)
+  /// without a shard plan applied to the model.
+  bool shard_replay = false;
   /// Admission policy (see BatchPolicy).
   BatchPolicy batch_policy = BatchPolicy::kGrowth;
   /// kLatencyAware prompt-token budget per step; 0 = model max_seq.

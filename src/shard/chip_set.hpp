@@ -1,0 +1,37 @@
+// A set of N simulated analog "chips", each owning its own ThreadPool
+// compute domain. The chips model the host-side execution domains of a
+// multi-chip accelerator: sharded AnalogMatmuls fan their work items out
+// to chip pools (see cim::ShardPlan) while the timing co-simulator
+// charges the inter-chip link for the data that would move between them.
+//
+// Pools clamp their width deterministically (util::ThreadPool::
+// clamp_width), so a ChipSet never oversubscribes the host no matter
+// what chips x threads_per_chip the caller asks for.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace nora::shard {
+
+class ChipSet {
+ public:
+  /// n_chips >= 1 simulated chips, each with a threads_per_chip-wide
+  /// pool (clamped; <= 0 degrades to sequential chips). Throws
+  /// std::invalid_argument when n_chips < 1.
+  explicit ChipSet(int n_chips, int threads_per_chip = 1);
+
+  int n_chips() const { return static_cast<int>(pools_.size()); }
+  util::ThreadPool& pool(int chip) { return *pools_[static_cast<std::size_t>(chip)]; }
+
+  /// Pool pointers for chips [chip0, chip0 + count) — the pools slot of
+  /// a cim::ShardPlan. Throws std::out_of_range on a bad range.
+  std::vector<util::ThreadPool*> pool_range(int chip0, int count);
+
+ private:
+  std::vector<std::unique_ptr<util::ThreadPool>> pools_;
+};
+
+}  // namespace nora::shard

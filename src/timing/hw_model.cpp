@@ -1,5 +1,6 @@
 #include "timing/hw_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <stdexcept>
@@ -21,7 +22,7 @@ std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
 
 void check_op(const TimingOp& op) {
   if (op.rows <= 0 || op.k <= 0 || op.n <= 0 || op.row_blocks <= 0 ||
-      op.col_blocks <= 0 || op.macs < 0) {
+      op.col_blocks <= 0 || op.macs < 0 || op.chip < 0 || op.tp_chips < 1) {
     throw std::invalid_argument("HwModel: malformed timing op for layer '" +
                                 op.layer + "'");
   }
@@ -51,6 +52,12 @@ void TimingConfig::validate() const {
         "timing: tile_read_latency_ns, digital_macs_per_ns and "
         "dram_bytes_per_ns must be finite and > 0");
   }
+  if (!finite_nonneg(costs.chip_link_latency_ns) ||
+      !finite_pos(costs.chip_link_bytes_per_ns)) {
+    throw std::invalid_argument(
+        "timing: chip_link_latency_ns must be finite and >= 0, "
+        "chip_link_bytes_per_ns finite and > 0");
+  }
 }
 
 HwModel::HwModel(const TimingConfig& cfg) : cfg_(cfg) {
@@ -69,6 +76,42 @@ HwModel::HwModel(const TimingConfig& cfg) : cfg_(cfg) {
 std::int64_t HwModel::analog_op_ps(const TimingOp& op,
                                    std::int64_t* events_out) const {
   check_op(op);
+  if (op.tp_chips > 1 && op.tp_axis != ShardAxis::kNone) {
+    // Tensor-parallel op: every chip runs the ceil-split sub-grid
+    // concurrently (op latency = the identical per-chip DES), then the
+    // chips exchange results over the inter-chip link. Effective width
+    // never exceeds the split axis extent — surplus chips hold no tiles.
+    const std::int64_t extent = op.tp_axis == ShardAxis::kRowBlocks
+                                    ? op.row_blocks
+                                    : op.col_blocks;
+    const std::int64_t tc =
+        std::min<std::int64_t>(op.tp_chips, std::max<std::int64_t>(1, extent));
+    TimingOp sub = op;
+    sub.tp_chips = 1;
+    sub.tp_axis = ShardAxis::kNone;
+    if (op.tp_axis == ShardAxis::kRowBlocks) {
+      sub.row_blocks = ceil_div(op.row_blocks, tc);
+    } else {
+      sub.col_blocks = ceil_div(op.col_blocks, tc);
+      sub.n = ceil_div(op.n, tc);
+    }
+    std::int64_t ps = analog_op_ps(sub, events_out);
+    if (tc > 1) {
+      // Row split all-reduces full-width fp32 partials in ceil(log2 tc)
+      // rounds; a column split reassembles the disjoint slices in one
+      // gather. Charged per token, serialized after the compute.
+      std::int64_t rounds = 1;
+      if (op.tp_axis == ShardAxis::kRowBlocks) {
+        rounds = 0;
+        for (std::int64_t span = 1; span < tc; span *= 2) ++rounds;
+      }
+      const double bytes = static_cast<double>(op.n) * 4.0;
+      const double hop_ns = cfg_.costs.chip_link_latency_ns +
+                            bytes / cfg_.costs.chip_link_bytes_per_ns;
+      ps += op.rows * rounds * std::llround(hop_ns * 1000.0);
+    }
+    return ps;
+  }
   const std::int64_t tokens = op.rows;
   const std::int64_t R = op.row_blocks;
   const std::int64_t C = op.col_blocks;
@@ -200,6 +243,70 @@ StepTiming HwModel::replay(const Trace& trace) const {
     entry->ps += ps;
     entry->ops += 1;
   }
+  return st;
+}
+
+StepTiming HwModel::replay_pipelined(const Trace& trace) const {
+  StepTiming st;
+  if (trace.ops.empty()) return st;
+  // Token-granular microbatches: the batch's rows flow through the chip
+  // pipeline one token-slice at a time. M is the widest op's row count,
+  // so a decode step over B sequences pipelines B microbatches.
+  std::int64_t M = 1;
+  for (const TimingOp& op : trace.ops) M = std::max(M, op.rows);
+
+  const std::size_t n_ops = trace.ops.size();
+  std::vector<std::int64_t> mb_ps(n_ops);     // per-microbatch op latency
+  std::vector<std::int64_t> out_link(n_ops);  // per-mb transfer after op i
+  std::int64_t max_chip = 0;
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const TimingOp& op = trace.ops[i];
+    TimingOp sub = op;
+    sub.rows = ceil_div(std::max<std::int64_t>(1, op.rows), M);
+    sub.macs = ceil_div(op.macs, M);
+    std::int64_t events = 0;
+    mb_ps[i] = op_ps(sub, &events);
+    st.events += events;
+    max_chip = std::max<std::int64_t>(max_chip, op.chip);
+    if (i > 0 && trace.ops[i - 1].chip != op.chip) {
+      // Pipeline boundary: ship the microbatch activations feeding op i
+      // (rows_mb x k fp32) over the inter-chip link.
+      const double bytes = static_cast<double>(sub.rows) *
+                           static_cast<double>(op.k) * 4.0;
+      const double hop_ns = cfg_.costs.chip_link_latency_ns +
+                            bytes / cfg_.costs.chip_link_bytes_per_ns;
+      out_link[i - 1] = std::llround(hop_ns * 1000.0);
+      st.link_ps += out_link[i - 1] * M;
+      st.link_transfers += M;
+    }
+    LayerTiming* entry = nullptr;
+    for (LayerTiming& lt : st.layers) {
+      if (lt.layer == op.layer) {
+        entry = &lt;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      st.layers.push_back(LayerTiming{op.layer, 0, 0});
+      entry = &st.layers.back();
+    }
+    entry->ps += mb_ps[i] * M;  // attribution = busy time over all mbs
+    entry->ops += 1;
+  }
+  // Makespan = pipeline fill (the first microbatch traverses every op
+  // and boundary once) + steady state (each later microbatch advances
+  // one bottleneck-chip interval; a chip admits one microbatch at a
+  // time, so its interval is its compute plus outbound transfers).
+  std::int64_t fill = 0;
+  std::vector<std::int64_t> chip_load(static_cast<std::size_t>(max_chip + 1));
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    fill += mb_ps[i] + out_link[i];
+    chip_load[static_cast<std::size_t>(trace.ops[i].chip)] +=
+        mb_ps[i] + out_link[i];
+  }
+  std::int64_t bottleneck = 0;
+  for (std::int64_t load : chip_load) bottleneck = std::max(bottleneck, load);
+  st.total_ps = fill + (M - 1) * bottleneck;
   return st;
 }
 

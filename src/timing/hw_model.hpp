@@ -53,6 +53,9 @@ struct LayerTiming {
 struct StepTiming {
   std::int64_t total_ps = 0;  // simulated duration of the whole step
   std::int64_t events = 0;    // DES events dispatched (replay-exactness probe)
+  // Inter-chip link traffic (multi-chip replay only; zero otherwise).
+  std::int64_t link_ps = 0;         // total link busy time across transfers
+  std::int64_t link_transfers = 0;  // pipeline-boundary activation transfers
   std::vector<LayerTiming> layers;  // first-appearance order
 };
 
@@ -70,7 +73,12 @@ class HwModel {
   std::int64_t adc_ps() const { return adc_ps_; }
 
   /// Event-driven latency of one analog MVM op; if `events_out` is
-  /// non-null it receives the number of DES events dispatched.
+  /// non-null it receives the number of DES events dispatched. Ops with
+  /// tp_chips > 1 simulate the per-chip sub-grid (ceil-split along
+  /// tp_axis) and add the inter-chip collective: a log2-round all-reduce
+  /// of full-width fp32 partials for row splits, a single gather of the
+  /// disjoint column slices for column splits, both charged per token at
+  /// DeviceCosts::chip_link_{latency_ns, bytes_per_ns}.
   std::int64_t analog_op_ps(const TimingOp& op,
                             std::int64_t* events_out = nullptr) const;
   /// Analytic latency of a digital/int8 GEMM or attention op
@@ -84,6 +92,21 @@ class HwModel {
   /// serving step is a single dependent chain through the network), with
   /// per-layer attribution in first-appearance order.
   StepTiming replay(const Trace& trace) const;
+
+  /// Multi-chip pipelined replay: ops carry a chip placement (stamped by
+  /// shard::apply_plan via TimingOp::chip) and the step's rows split
+  /// into token-granular microbatches that flow through the chip
+  /// pipeline — chip c runs microbatch m while chip c' runs m+1, which
+  /// is legal dataflow because a token's KV rows are written at a stage
+  /// before the next token reaches it. Crossing from one chip to the
+  /// next ships the microbatch activations (rows_mb * k * 4 bytes) over
+  /// the inter-chip link. Makespan = pipeline fill (every op + crossing
+  /// once) + (M - 1) * bottleneck-chip interval; a chip's interval is
+  /// its per-microbatch compute plus outbound transfers. With every op
+  /// on chip 0 this degenerates to M * (per-microbatch chain) — the
+  /// serial replay at microbatch granularity. Per-layer attribution is
+  /// total busy time (per-microbatch latency * M).
+  StepTiming replay_pipelined(const Trace& trace) const;
 
  private:
   TimingConfig cfg_;

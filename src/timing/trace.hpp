@@ -26,6 +26,14 @@ enum class OpKind : std::uint8_t {
 
 const char* to_string(OpKind kind);
 
+/// Tensor-parallel partitioning of one analog op across chips (stamped
+/// from the layer's cim::ShardPlan axis; kNone for unsharded ops).
+enum class ShardAxis : std::uint8_t {
+  kNone = 0,
+  kRowBlocks,  // row split: chips all-reduce full-width fp32 partials
+  kColBlocks,  // column split: chips gather disjoint output columns
+};
+
 struct TimingOp {
   OpKind kind = OpKind::kDigitalGemm;
   std::string layer;          // e.g. "block0.attn.qkv"
@@ -35,6 +43,11 @@ struct TimingOp {
   std::int64_t row_blocks = 1;  // analog tile grid height (1 for digital)
   std::int64_t col_blocks = 1;  // analog tile grid width (1 for digital)
   std::int64_t macs = 0;      // exact MAC count (attention is ragged)
+  // Multi-chip placement metadata (defaults describe the single-chip
+  // world, so pre-shard traces and tests are unaffected).
+  int chip = 0;               // pipeline placement: chip executing the op
+  int tp_chips = 1;           // tensor-parallel width across the op
+  ShardAxis tp_axis = ShardAxis::kNone;
 
   bool operator==(const TimingOp&) const = default;
 };

@@ -1,7 +1,6 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace nora::util {
 
@@ -14,8 +13,22 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+int ThreadPool::clamp_width(int threads) {
+  // Deterministic clamp instead of throwing: per-chip pool domains size
+  // themselves from config knobs (chips x threads_per_chip) that may ask
+  // for 0 or for more than the host offers. 0 / negative degrade to the
+  // sequential width; requests beyond hardware_concurrency() clamp to it
+  // so N chip pools never oversubscribe the host N-fold. When the host
+  // cannot report its width (hardware_concurrency() == 0) the requested
+  // width is honored as-is — there is nothing to clamp against.
+  if (threads < 1) return 1;
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc > 0 && threads > static_cast<int>(hc)) return static_cast<int>(hc);
+  return threads;
+}
+
 void ThreadPool::resize(int threads) {
-  if (threads < 1) throw std::invalid_argument("ThreadPool: threads must be >= 1");
+  threads = clamp_width(threads);
   const std::size_t want_workers = static_cast<std::size_t>(threads - 1);
   if (want_workers == workers_.size()) {
     n_threads_.store(threads, std::memory_order_relaxed);

@@ -39,10 +39,17 @@ class ThreadPool {
   int threads() const { return n_threads_.load(std::memory_order_relaxed); }
 
   /// Set the execution width exactly (joins or spawns workers). Must not
-  /// be called concurrently with an in-flight parallel_for.
+  /// be called concurrently with an in-flight parallel_for. Out-of-range
+  /// requests clamp deterministically (see clamp_width) instead of
+  /// throwing or oversubscribing.
   void resize(int threads);
-  /// Grow to at least `threads`; never shrinks.
+  /// Grow to at least `clamp_width(threads)`; never shrinks.
   void ensure(int threads);
+
+  /// The width resize(threads) would actually install: requests < 1
+  /// clamp to 1; requests above hardware_concurrency() clamp to it
+  /// (when the host reports one). Pure function of (threads, host).
+  static int clamp_width(int threads);
 
   /// Run fn(0) .. fn(n-1), distributing indices over the pool in chunks
   /// of `grain`. Blocks until every index has completed. The first

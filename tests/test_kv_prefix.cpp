@@ -319,7 +319,7 @@ TEST(ServePrefix, CancelMidPrefixReleasesLeaseExactlyOnce) {
   nn::TransformerLM model = make_analog_model();
   const std::uint64_t stream = 321;
   const std::vector<int> prompt = {5, 5, 5, 5, 5, 5};
-  for (int cancel_step = 0; cancel_step < 4; ++cancel_step) {
+  for (int cancel_step = 0; cancel_step < 6; ++cancel_step) {
     Scheduler sched(model, logits_cfg());
     Auditor auditor(sched);
     const RequestRecord a = run_one(sched, prompt, stream, /*max_new=*/6);
@@ -330,17 +330,68 @@ TEST(ServePrefix, CancelMidPrefixReleasesLeaseExactlyOnce) {
     p.max_new_tokens = 6;
     p.stream_seed = stream;
     const std::int64_t id = sched.submit(std::move(p));
-    for (int s = 0; s < cancel_step; ++s) sched.step();
+    // Audit the conservation invariants after EVERY step, not just at
+    // idle: a lease released twice (or not at all) on the cancel path
+    // shows up as a transient refs mismatch that an idle-only audit
+    // would miss once later steps rebalance the counters.
+    for (int s = 0; s < cancel_step; ++s) {
+      sched.step();
+      ASSERT_EQ(auditor.check(), 0u)
+          << "pre-cancel step " << s << ": " << auditor.violations().back();
+    }
     if (cancel_step > 0) {  // admission (and the lease) happens in step()
       EXPECT_EQ(sched.metrics().kv_prefix_hits, 1);
     }
     sched.cancel(id);
-    sched.run_until_idle();
+    while (sched.step()) {
+      ASSERT_EQ(auditor.check(), 0u)
+          << "post-cancel: " << auditor.violations().back();
+    }
     const RequestState st = sched.request(id).state;
     EXPECT_TRUE(st == RequestState::kCancelled ||
                 st == RequestState::kFinished);
     // Whatever step the cancel landed on, the lease came back exactly
     // once (the idle audit checks refs == 0 and slab conservation).
+    EXPECT_EQ(auditor.check_idle(), 0u)
+        << "cancel at " << cancel_step << ": " << auditor.violations().front();
+  }
+}
+
+TEST(ServePrefix, CancelHammerUnderBudgetPressureHoldsEveryStep) {
+  // Same per-step audit, but with a budget so tight that every admission
+  // fights the prefix store for tokens: cancels now race against LRU
+  // eviction and lease-or-evict decisions, the paths where a lease
+  // refcount is easiest to drop or double-release.
+  nn::TransformerLM model = make_analog_model();
+  SchedulerConfig cfg = logits_cfg();
+  cfg.kv_budget_tokens = 20;
+  const std::vector<int> prompt = {5, 5, 5, 5, 5, 5};
+  for (int cancel_step = 0; cancel_step < 5; ++cancel_step) {
+    Scheduler sched(model, cfg);
+    Auditor auditor(sched);
+    const RequestRecord a = run_one(sched, prompt, /*stream=*/64, 4);
+    ASSERT_EQ(a.state, RequestState::kFinished);
+    // Two follow-ups on the warm stream plus one cold stream: more
+    // demand than the budget can hold at once.
+    std::vector<std::int64_t> ids;
+    for (int r = 0; r < 3; ++r) {
+      RequestParams p;
+      p.prompt = prompt;
+      p.prompt.push_back(9 + r);
+      p.max_new_tokens = 4;
+      p.stream_seed = (r == 2) ? 65 : 64;
+      ids.push_back(sched.submit(std::move(p)));
+    }
+    for (int s = 0; s < cancel_step; ++s) {
+      sched.step();
+      ASSERT_EQ(auditor.check(), 0u)
+          << "pre-cancel step " << s << ": " << auditor.violations().back();
+    }
+    sched.cancel(ids[static_cast<std::size_t>(cancel_step % 3)]);
+    while (sched.step()) {
+      ASSERT_EQ(auditor.check(), 0u)
+          << "post-cancel: " << auditor.violations().back();
+    }
     EXPECT_EQ(auditor.check_idle(), 0u)
         << "cancel at " << cancel_step << ": " << auditor.violations().front();
   }

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -86,17 +87,66 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
 }
 
 TEST(ThreadPool, ResizeAndEnsure) {
+  // Widths above hardware_concurrency() clamp (a 1-core CI host installs
+  // width 1 everywhere), so assert against the clamp, not the request.
   ThreadPool pool(1);
   pool.ensure(3);
-  EXPECT_EQ(pool.threads(), 3);
+  EXPECT_EQ(pool.threads(), ThreadPool::clamp_width(3));
   pool.ensure(2);  // never shrinks
-  EXPECT_EQ(pool.threads(), 3);
+  EXPECT_EQ(pool.threads(), ThreadPool::clamp_width(3));
   pool.resize(2);
-  EXPECT_EQ(pool.threads(), 2);
-  EXPECT_THROW(pool.resize(0), std::invalid_argument);
+  EXPECT_EQ(pool.threads(), ThreadPool::clamp_width(2));
+  pool.resize(0);  // clamps to 1 instead of throwing
+  EXPECT_EQ(pool.threads(), 1);
   std::atomic<std::int64_t> sum{0};
   pool.parallel_for(100, [&](std::int64_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, WidthClampsDeterministically) {
+  // Non-positive widths clamp to 1 (sequential), both at construction
+  // and on resize — a config of "0 threads" must never throw mid-serve.
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.threads(), 1);
+  // Absurd widths clamp to hardware_concurrency() instead of spawning
+  // thousands of OS threads. When hc is unknown (0) the request stands,
+  // so only assert the clamp when hc is reported.
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc > 0) {
+    ThreadPool huge(1 << 20);
+    EXPECT_EQ(huge.threads(), static_cast<int>(hc));
+    EXPECT_EQ(ThreadPool::clamp_width(1 << 20), static_cast<int>(hc));
+  }
+  EXPECT_EQ(ThreadPool::clamp_width(0), 1);
+  EXPECT_EQ(ThreadPool::clamp_width(-7), 1);
+  EXPECT_EQ(ThreadPool::clamp_width(1), 1);
+}
+
+TEST(ThreadPool, CrossPoolNestingDoesNotDeadlock) {
+  // A chip pool draining work inside a job running on another pool is
+  // exactly the sharded-execution shape: the outer pool's worker blocks
+  // in the inner parallel_for but assists the inner job, so no thread
+  // ever waits on a queue it alone could serve.
+  ThreadPool outer(2);
+  ThreadPool chip_a(2);
+  ThreadPool chip_b(2);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(2 * 64));
+  outer.parallel_for(2, [&](std::int64_t c) {
+    ThreadPool& chip = (c == 0) ? chip_a : chip_b;
+    chip.parallel_for(64, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(c * 64 + i)].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Nested construction inside a running job must also complete.
+  outer.parallel_for(2, [&](std::int64_t c) {
+    ThreadPool inner(2);
+    std::atomic<std::int64_t> sum{0};
+    inner.parallel_for(16, [&](std::int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 120) << "chip " << c;
+  });
 }
 
 TEST(ThreadPool, GlobalSingletonStartsSequential) {
